@@ -1,0 +1,117 @@
+"""A2 — the title's promise: interrogating the KG/corpus for bias.
+
+The paper claims the KG "does not suffer from any bias or misinformation"
+because it is built from vetted sources that are "interrogated for bias".
+This experiment runs the interrogation over two corpora — one balanced,
+one deliberately skewed (single dominant topic + single dominant journal
++ conflicting side-effect rates) — and shows the checks firing exactly on
+the skewed one.
+"""
+
+from benchlib import print_table
+
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.kg.bias import BiasInterrogator
+from repro.kg.enrichment import EnrichmentPipeline
+from repro.kg.fusion import FusionEngine
+from repro.kg.matching import NodeMatcher
+from repro.kg.ontology import seed_covid_graph
+
+
+def _enriched(papers):
+    graph = seed_covid_graph()
+    pipeline = EnrichmentPipeline(
+        FusionEngine(graph, NodeMatcher(graph))
+    )
+    pipeline.enrich(papers)
+    return graph, pipeline
+
+
+def _skew(papers):
+    """Make a corpus pathological: one journal, conflicting rates."""
+    skewed = []
+    for index, paper in enumerate(papers):
+        paper = dict(paper)
+        paper["journal"] = "MegaJournal"
+        skewed.append(paper)
+    # Inject two papers that report wildly different fever rates.
+    for pid, rate in (("conflict-a", 2.0), ("conflict-b", 80.0)):
+        skewed.append({
+            "paper_id": pid, "title": "fever rates", "abstract": "rates",
+            "authors": [{"first": "X", "last": "Y"}],
+            "publish_time": "2021-06-01", "journal": "MegaJournal",
+            "body_text": [{"section": "Results", "text": "fever"}],
+            "figures": [],
+            "tables": [{
+                "caption": "Table: Side effects reported after Pfizer "
+                "vaccination, by dose",
+                "rows": [
+                    {"cells": [{"text": "Side effect"},
+                               {"text": "Dose 1 (%)"}],
+                     "is_metadata": True},
+                    {"cells": [{"text": "fever"}, {"text": str(rate)}]},
+                ],
+            }],
+        })
+    return skewed
+
+
+def test_a2_bias_interrogation(benchmark):
+    balanced = CorpusGenerator(GeneratorConfig(
+        seed=201, tables_per_paper=(1, 2),
+    )).papers(60)
+    single_topic = CorpusGenerator(GeneratorConfig(
+        seed=202, topics=["vaccines"], tables_per_paper=(1, 2),
+    )).papers(60)
+    skewed = _skew(CorpusGenerator(GeneratorConfig(
+        seed=203, tables_per_paper=(1, 2),
+    )).papers(60))
+
+    interrogator = BiasInterrogator()
+    rows = []
+    reports = {}
+    for name, corpus in (("balanced", balanced),
+                         ("single-topic", single_topic),
+                         ("skewed sources", skewed)):
+        graph, pipeline = _enriched(corpus)
+        report = interrogator.interrogate(
+            corpus, graph=graph, pipeline=pipeline, num_clusters=6,
+        )
+        reports[name] = report
+        flags = report.summary()["flags"]
+        rows.append([
+            name,
+            report.topic_balance,
+            report.source_balance,
+            flags.get("topic_skew", 0),
+            flags.get("source_skew", 0),
+            flags.get("contested_claim", 0),
+            flags.get("thin_provenance", 0),
+        ])
+    print_table(
+        "A2: bias interrogation — balanced vs deliberately skewed corpus",
+        ["corpus", "topic balance", "source balance", "topic flags",
+         "source flags", "contested flags", "thin-provenance flags"],
+        rows,
+        note="'single-topic' covers only vaccines; 'skewed sources' has "
+        "one journal and injected conflicting fever rates",
+    )
+
+    balanced_report = reports["balanced"]
+    single_report = reports["single-topic"]
+    skewed_report = reports["skewed sources"]
+    assert skewed_report.source_balance < balanced_report.source_balance
+    assert not balanced_report.flags_of("source_skew")
+    assert not balanced_report.flags_of("topic_skew")
+    assert single_report.flags_of("topic_skew")
+    assert skewed_report.flags_of("source_skew")
+    assert skewed_report.flags_of("contested_claim")
+    # The contested fever claim surfaces among the worst findings.
+    assert any(
+        "fever" in flag.subject for flag in skewed_report.worst(10)
+    )
+
+    graph, pipeline = _enriched(balanced)
+    benchmark(lambda: interrogator.interrogate(
+        balanced, graph=graph, pipeline=pipeline, num_clusters=6,
+    ))

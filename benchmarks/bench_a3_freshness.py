@@ -1,0 +1,84 @@
+"""A3 — the freshness argument: static KGs go stale, COVIDKG does not.
+
+The paper's opening claim: existing KGs (YAGO, DBPedia, medical
+ontologies) "are getting stale very quickly ... most importantly lack any
+scalable mechanism to keep them up to date", whereas COVIDKG's automatic
+update loop ensures "reliability, freshness, and quality".
+
+This experiment quantifies that argument on the same publication stream:
+a **static** graph enriched once at the start (the socially-maintained-KG
+model) against a **live** graph enriched weekly (the COVIDKG model), both
+audited for staleness at the end of the stream.
+"""
+
+from benchlib import print_table
+
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.kg.enrichment import EnrichmentPipeline
+from repro.kg.freshness import audit_freshness
+from repro.kg.fusion import FusionEngine
+from repro.kg.matching import NodeMatcher
+from repro.kg.ontology import seed_covid_graph
+
+
+def _pipeline():
+    graph = seed_covid_graph()
+    return graph, EnrichmentPipeline(
+        FusionEngine(graph, NodeMatcher(graph))
+    )
+
+
+def test_a3_static_vs_live_freshness(benchmark):
+    generator = CorpusGenerator(GeneratorConfig(
+        seed=301, papers_per_week=15, tables_per_paper=(1, 2),
+    ))
+    weeks = list(generator.weekly_batches(12))
+    all_papers = [paper for batch in weeks for paper in batch]
+
+    static_graph, static_pipeline = _pipeline()
+    for batch in weeks[:2]:          # curated once, then abandoned
+        static_pipeline.enrich(batch)
+
+    live_graph, live_pipeline = _pipeline()
+    for batch in weeks:              # the non-stop update loop
+        live_pipeline.enrich(batch)
+
+    window = 35
+    static_report = audit_freshness(static_graph, all_papers,
+                                    window_days=window)
+    live_report = audit_freshness(live_graph, all_papers,
+                                  window_days=window)
+
+    rows = []
+    for name, graph, report in (
+        ("static (2-week curation)", static_graph, static_report),
+        ("live (weekly updates)", live_graph, live_report),
+    ):
+        rows.append([
+            name,
+            graph.statistics()["nodes"],
+            len(report.nodes),
+            len(report.stale_nodes),
+            report.stale_fraction(),
+            report.median_age_days,
+        ])
+    print_table(
+        f"A3: KG staleness after 12 weeks (window={window} days)",
+        ["maintenance model", "KG nodes", "evidenced", "stale",
+         "stale fraction", "median age (days)"],
+        rows,
+        note="the paper's pitch: without the update loop the graph decays "
+        "within weeks",
+    )
+
+    # Shape: the abandoned graph is mostly stale; the live one mostly
+    # fresh, and larger (it kept learning new entities).
+    assert static_report.stale_fraction() > 0.9
+    assert live_report.stale_fraction() < 0.5
+    assert live_graph.statistics()["nodes"] >= (
+        static_graph.statistics()["nodes"]
+    )
+    assert live_report.median_age_days < static_report.median_age_days
+
+    benchmark(lambda: audit_freshness(live_graph, all_papers,
+                                      window_days=window))

@@ -1,0 +1,88 @@
+"""E14 — Section 4.2: interactive KG search with path highlighting.
+
+Paper claim: "The user can search over the KG via the front-end interface
+that except matching nodes also highlights the path to the matching
+nodes", with provenance papers "linked off these nodes".
+
+Regenerates: path correctness (every hit's rendered path starts at the
+root and ends at the highlighted match), provenance linkage, and search
+latency as the graph grows through enrichment.
+"""
+
+from benchlib import print_table
+
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.kg.enrichment import EnrichmentPipeline
+from repro.kg.fusion import FusionEngine
+from repro.kg.matching import NodeMatcher
+from repro.kg.ontology import seed_covid_graph
+from repro.kg.review import ExpertReviewQueue
+from repro.kg.search import KGSearchEngine
+
+QUERIES = ["vaccines", "side effects", "pfizer", "symptoms", "strains",
+           "children side effects"]
+
+
+def _enriched_graph(num_papers):
+    graph = seed_covid_graph()
+    matcher = NodeMatcher(graph)
+    engine = FusionEngine(graph, matcher,
+                          review_queue=ExpertReviewQueue())
+    corpus = CorpusGenerator(GeneratorConfig(
+        seed=114, tables_per_paper=(1, 2),
+    )).papers(num_papers)
+    EnrichmentPipeline(engine).enrich(corpus)
+    return graph
+
+
+def test_e14_path_highlighting(benchmark):
+    graph = _enriched_graph(60)
+    search = KGSearchEngine(graph)
+
+    rows = []
+    for query in QUERIES:
+        hits = search.search(query, top_k=5)
+        assert hits, f"no KG hits for {query!r}"
+        top = hits[0]
+        # Path correctness: starts at the root, ends at the hit, and the
+        # graph agrees with every link.
+        assert top.path[0].node_id == graph.root_id
+        assert top.path[-1].node_id == top.node.node_id
+        for parent, child in zip(top.path, top.path[1:]):
+            assert child.node_id in parent.children
+        rendered = top.rendered_path()
+        assert rendered.startswith("COVID-19")
+        assert rendered.endswith(f"[[{top.node.label}]]")
+        rows.append([query, len(hits), rendered, len(top.papers)])
+    print_table(
+        "E14: KG search with path highlighting (Section 4.2)",
+        ["query", "hits", "highlighted path (top hit)", "papers"],
+        rows,
+    )
+    # Provenance flows: at least one enrichment-touched hit links papers.
+    assert any(row[3] > 0 for row in rows)
+
+    benchmark(lambda: search.search("side effects"))
+
+
+def test_e14_latency_vs_graph_size(benchmark):
+    import time
+
+    rows = []
+    for num_papers in (20, 60, 120):
+        graph = _enriched_graph(num_papers)
+        search = KGSearchEngine(graph)
+        started = time.perf_counter()
+        for query in QUERIES:
+            search.search(query)
+        elapsed = (time.perf_counter() - started) / len(QUERIES)
+        rows.append([num_papers, len(graph), f"{elapsed * 1000:.2f}"])
+    print_table(
+        "E14b: KG search latency vs graph size (interactive budget)",
+        ["papers enriched", "KG nodes", "ms/query"],
+        rows,
+        note="interactive use needs ~sub-10ms per query at this scale",
+    )
+    graph = _enriched_graph(120)
+    search = KGSearchEngine(graph)
+    benchmark(lambda: search.search("vaccines"))

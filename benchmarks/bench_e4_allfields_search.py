@@ -1,0 +1,82 @@
+"""E4 — Figure 2: the all-fields search engine (query "masks").
+
+The paper's Figure 2 screenshots ranked, snippeted, paginated results for
+the query "masks" over every publication field.  Regenerates:
+
+* the Figure 2 result shape (ranked hits with per-field excerpts, ten per
+  page),
+* retrieval quality against the corpus generator's topic ground truth
+  (a topic-term query should surface that topic's papers first),
+* query latency as the corpus grows.
+"""
+
+from benchlib import print_table
+
+from repro.search.all_fields import AllFieldsEngine
+
+#: (query term, generator topic it belongs to)
+TOPIC_QUERIES = [
+    ("masks", "transmission"),
+    ("ventilator", "critical_care"),
+    ("booster", "vaccines"),
+    ("remdesivir", "treatment"),
+]
+
+
+def _engine(corpus, size):
+    engine = AllFieldsEngine()
+    engine.add_papers(corpus[:size])
+    return engine
+
+
+def test_e4_result_shape_and_quality(medium_corpus, benchmark):
+    engine = _engine(medium_corpus, 200)
+    truth = {
+        paper["paper_id"]: paper["ground_truth"]["topic"]
+        for paper in medium_corpus[:200]
+    }
+
+    rows = []
+    for query, topic in TOPIC_QUERIES:
+        results = engine.search(query)
+        top10 = list(results)[:10]
+        relevant = sum(
+            1 for result in top10 if truth[result.paper_id] == topic
+        )
+        precision_at_10 = relevant / len(top10) if top10 else 0.0
+        rows.append([query, results.total_matches, len(top10),
+                     precision_at_10,
+                     f"{results.seconds * 1000:.1f}"])
+        assert len(top10) <= 10  # ten per page, as the paper paginates
+        if top10:
+            # Every displayed hit carries at least one highlighted snippet.
+            assert all(
+                any("[[" in text for text in result.snippets.values())
+                for result in top10
+            )
+    print_table(
+        "E4: all-fields engine (Figure 2 shape; P@10 vs topic truth)",
+        ["query", "matches", "page size", "P@10", "latency ms"],
+        rows,
+        note="topic-term queries should rank their own topic's papers first",
+    )
+    mean_p10 = sum(row[3] for row in rows) / len(rows)
+    assert mean_p10 > 0.5
+
+    benchmark(lambda: engine.search("masks"))
+
+
+def test_e4_latency_scaling(medium_corpus, benchmark):
+    rows = []
+    for size in (50, 150, 300):
+        engine = _engine(medium_corpus, size)
+        results = engine.search("vaccine")
+        rows.append([size, results.total_matches,
+                     f"{results.seconds * 1000:.1f}"])
+    print_table(
+        "E4b: all-fields latency vs corpus size",
+        ["corpus docs", "matches", "latency ms"],
+        rows,
+    )
+    engine = _engine(medium_corpus, 300)
+    benchmark(lambda: engine.search("vaccine"))

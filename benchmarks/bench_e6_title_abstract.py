@@ -1,0 +1,56 @@
+"""E6 — Section 2.1.1: the title/abstract/caption engine's inclusive fields.
+
+Paper claim: "The search fields are inclusive in the search results,
+meaning, if a user searches on a field there must be a document that
+matches at least one term in that field or it does not get passed on to
+the next stage regardless if there are matches over the other fields."
+
+Regenerates: result counts across field combinations, demonstrating that
+adding a field can only shrink (never grow) the result set, plus the
+prescribed result format (captions first, title + authors, abstract).
+"""
+
+from benchlib import print_table
+
+from repro.search.title_abstract import TitleAbstractCaptionEngine
+
+
+def test_e6_inclusive_fields(medium_corpus, benchmark):
+    engine = TitleAbstractCaptionEngine()
+    engine.add_papers(medium_corpus[:200])
+
+    title_only = engine.search(title="covid")
+    abstract_only = engine.search(abstract="patients")
+    both = engine.search(title="covid", abstract="patients")
+    caption_only = engine.search(caption="vaccine")
+    all_three = engine.search(title="covid", abstract="patients",
+                              caption="vaccine")
+
+    rows = [
+        ["title='covid'", title_only.total_matches],
+        ["abstract='patients'", abstract_only.total_matches],
+        ["title AND abstract", both.total_matches],
+        ["caption='vaccine'", caption_only.total_matches],
+        ["all three fields", all_three.total_matches],
+    ]
+    print_table(
+        "E6: inclusive field semantics (each searched field must match)",
+        ["field combination", "matches"],
+        rows,
+        note="adding a searched field can only shrink the result set",
+    )
+
+    assert both.total_matches <= min(title_only.total_matches,
+                                     abstract_only.total_matches)
+    assert all_three.total_matches <= min(both.total_matches,
+                                          caption_only.total_matches)
+
+    # Result format: captions (when matched) -> title -> authors ->
+    # full abstract.
+    if all_three.results:
+        snippets = all_three.results[0].snippets
+        keys = list(snippets)
+        assert keys.index("title") < keys.index("abstract")
+        assert "authors" in snippets
+
+    benchmark(lambda: engine.search(title="covid", abstract="patients"))

@@ -1,0 +1,139 @@
+"""E9 — Section 4.2 / Figure 1: KG enrichment-and-fusion quality.
+
+The paper describes the fusion behaviour qualitatively; this experiment
+quantifies it against the corpus generator's ground truth:
+
+* **extraction-to-KG recall**: every vaccine/strain/side-effect the
+  ground truth says a paper mentions in a *table* should end up in the
+  graph with that paper in its provenance;
+* **the NovoVac case**: unseen vaccines (absent from the seed ontology)
+  must be placed under "Vaccines" via embedding matching;
+* **review-queue load**: the fraction of fusions needing the expert, and
+  how the learned corrector drives it down over successive batches
+  ("most of the fusion is expected to become minimally supervised").
+"""
+
+from benchlib import print_table
+
+from repro.corpus import vocabulary_data as vd
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.embeddings.word2vec import Word2Vec
+from repro.kg.enrichment import EnrichmentPipeline
+from repro.kg.fusion import ExtractedSubtree, FusionEngine
+from repro.kg.matching import NodeMatcher
+from repro.kg.ontology import seed_covid_graph
+from repro.kg.review import ExpertReviewQueue
+from repro.text.vocabulary import Vocabulary
+
+
+def _embeddings():
+    sentences = [
+        f"{vaccine} vaccine dose efficacy antibody trial"
+        for vaccine in vd.KNOWN_VACCINES + vd.UNSEEN_VACCINES
+    ] * 10
+    vocabulary = Vocabulary.from_texts(sentences, drop_stopwords=False)
+    return Word2Vec(vocabulary, dim=16, seed=9).fit(sentences, epochs=8)
+
+
+def test_e9_fusion_recall_and_novovac(benchmark):
+    corpus = CorpusGenerator(GeneratorConfig(
+        seed=109, tables_per_paper=(1, 3), unseen_vaccine_rate=0.15,
+    )).papers(80)
+    graph = seed_covid_graph()
+    matcher = NodeMatcher(graph, word2vec=_embeddings())
+    queue = ExpertReviewQueue()
+    engine = FusionEngine(graph, matcher, review_queue=queue)
+    pipeline = EnrichmentPipeline(engine)
+    report = pipeline.enrich(corpus)
+
+    # Recall of table-extracted vaccines (ground truth restricted to what
+    # tables actually carry: caption-extractable side-effect tables and
+    # efficacy tables).
+    expected_vaccines = set()
+    for paper in corpus:
+        for subtree in pipeline.extract_subtrees(paper):
+            if subtree.category == "vaccines":
+                expected_vaccines.update(
+                    child.label for child in subtree.children
+                )
+    in_graph = sum(
+        1 for vaccine in expected_vaccines if graph.find_by_label(vaccine)
+    )
+    recall = in_graph / len(expected_vaccines)
+
+    unseen_placed = [
+        vaccine for vaccine in vd.UNSEEN_VACCINES
+        if graph.find_by_label(vaccine)
+    ]
+    unseen_parents = {
+        graph.parent(graph.find_by_label(v)[0].node_id).label
+        for v in unseen_placed
+    }
+
+    print_table(
+        "E9: fusion vs extraction ground truth",
+        ["metric", "value"],
+        [
+            ["subtrees fused", report.subtrees],
+            ["fusion actions", str(report.actions())],
+            ["extracted vaccines", len(expected_vaccines)],
+            ["vaccines in KG", in_graph],
+            ["extraction->KG recall", recall],
+            ["unseen vaccines placed", ", ".join(unseen_placed) or "none"],
+            ["placed under", ", ".join(sorted(unseen_parents)) or "-"],
+            ["KG after enrichment", str(graph.statistics())],
+        ],
+    )
+
+    assert recall == 1.0
+    assert unseen_placed, "NovoVac-style vaccines must reach the KG"
+    assert unseen_parents == {"Vaccines"}
+
+    subtree = ExtractedSubtree(
+        "Vaccines", category="vaccines", provenance="bench",
+        children=[ExtractedSubtree("Pfizer", category="vaccines")],
+    )
+    benchmark(lambda: engine.fuse(subtree))
+
+
+def test_e9_review_load_decreases_with_learning(benchmark):
+    """The corrector learns expert approvals batch over batch."""
+    graph = seed_covid_graph()
+    matcher = NodeMatcher(graph)
+    queue = ExpertReviewQueue()
+    engine = FusionEngine(graph, matcher, review_queue=queue)
+
+    def deep_subtree(index):
+        return ExtractedSubtree(
+            "Side-effects", category="side_effects",
+            provenance=f"p{index}",
+            children=[ExtractedSubtree(
+                "Children side-effects", category="side_effects",
+                children=[ExtractedSubtree(f"effect-{index}",
+                                           category="side_effects")],
+            )],
+        )
+
+    rows = []
+    counter = 0
+    for batch in range(4):
+        queued = auto = 0
+        for _ in range(5):
+            result = engine.fuse(deep_subtree(counter))
+            counter += 1
+            if result.action == "queued":
+                queued += 1
+                queue.decide(result.review_id, True, engine)
+            elif result.action == "auto_approved":
+                auto += 1
+        rows.append([batch + 1, queued, auto, queued / 5])
+    print_table(
+        "E9b: expert-review load per batch (paper: fusion becomes "
+        "'minimally supervised')",
+        ["batch", "sent to expert", "auto-approved", "review fraction"],
+        rows,
+    )
+    assert rows[0][3] > rows[-1][3]
+    assert rows[-1][2] == 5  # final batch fully automatic
+
+    benchmark(lambda: engine.fuse(deep_subtree(9999)))

@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benchmarks (E1-E14).
+
+Each ``bench_eNN_*.py`` file regenerates one table/figure/claim from the
+paper's evaluation; this module provides the table printer every
+experiment uses, so benchmark output reads like the paper's rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def print_table(title: str, header: Sequence[str],
+                rows: Sequence[Sequence[Any]],
+                note: str = "") -> None:
+    """Print an aligned experiment table under a banner."""
+    rendered = [[_format(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header[i])),
+            max((len(row[i]) for row in rendered), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    if note:
+        print(f"note: {note}")
+
+
+def _format(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

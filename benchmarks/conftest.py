@@ -1,0 +1,42 @@
+"""Shared fixtures for the experiment benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify.dataset import MetadataDataset
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """~60 papers with tables; shared across search/KG experiments."""
+    config = GeneratorConfig(seed=101, papers_per_week=20,
+                             tables_per_paper=(1, 2))
+    return CorpusGenerator(config).papers(60)
+
+
+@pytest.fixture(scope="session")
+def medium_corpus():
+    """~300 papers for scaling experiments."""
+    config = GeneratorConfig(seed=102, papers_per_week=50,
+                             tables_per_paper=(0, 2))
+    return CorpusGenerator(config).papers(300)
+
+
+@pytest.fixture(scope="session")
+def tuple_dataset():
+    """Labeled WDC + CORD-19-style tuples for classifier experiments."""
+    wdc = MetadataDataset.from_wdc(60, seed=103)
+    papers = CorpusGenerator(GeneratorConfig(
+        seed=103, tables_per_paper=(1, 2),
+    )).papers(40)
+    cord = MetadataDataset.from_papers(papers)
+    return wdc.merged_with(cord).shuffled(seed=103)
+
+
+@pytest.fixture(scope="session")
+def tuple_vocabulary(tuple_dataset):
+    return Vocabulary.from_texts(tuple_dataset.texts(),
+                                 drop_stopwords=False)

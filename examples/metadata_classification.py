@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Table-metadata classification: SVM vs BiGRU vs BiLSTM (Section 3).
+
+Builds a labeled WDC+CORD-19-style tuple dataset, trains all three
+classifiers, and reports 5-fold cross-validated precision/recall/F1 —
+the Section 3.3 evaluation at example scale (the full 10-fold grid lives
+in benchmarks/bench_e1_metadata_f1.py).
+
+Run:  python examples/metadata_classification.py
+"""
+
+import time
+
+from repro.classify.bigru_model import NeuralMetadataClassifier
+from repro.classify.dataset import MetadataDataset
+from repro.classify.evaluate import evaluate_classifier_cv
+from repro.classify.svm_model import SvmMetadataClassifier
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.text.vocabulary import Vocabulary
+
+
+def build_dataset() -> MetadataDataset:
+    wdc = MetadataDataset.from_wdc(50, seed=5)
+    papers = CorpusGenerator(GeneratorConfig(
+        seed=5, tables_per_paper=(1, 2),
+    )).papers(30)
+    cord = MetadataDataset.from_papers(papers)
+    return wdc.merged_with(cord).shuffled(seed=5)
+
+
+def main() -> None:
+    dataset = build_dataset()
+    print(f"dataset: {dataset.balance_summary()}")
+    print(f"  horizontal tuples: {len(dataset.by_orientation('horizontal'))}")
+    print(f"  vertical tuples:   {len(dataset.by_orientation('vertical'))}\n")
+
+    vocabulary = Vocabulary.from_texts(dataset.texts(),
+                                       drop_stopwords=False)
+
+    print(f"{'model':10s} {'precision':>9s} {'recall':>8s} "
+          f"{'f1':>8s} {'sec':>7s}")
+    rows = []
+
+    started = time.perf_counter()
+    svm_report = evaluate_classifier_cv(
+        lambda: SvmMetadataClassifier(epochs=10, seed=1),
+        dataset, num_folds=5,
+    )
+    rows.append(("SVM", svm_report, time.perf_counter() - started))
+
+    for cell in ("gru", "lstm"):
+        started = time.perf_counter()
+        report = evaluate_classifier_cv(
+            lambda: NeuralMetadataClassifier(
+                vocabulary, cell=cell, embed_dim=12, hidden=8,
+                max_terms=12, max_cells=6, seed=2,
+            ),
+            dataset, num_folds=5,
+            fit_kwargs={"epochs": 4, "batch_size": 32},
+        )
+        rows.append((f"Bi{cell.upper()}", report,
+                     time.perf_counter() - started))
+
+    for name, report, seconds in rows:
+        print(f"{name:10s} {report.mean('precision'):9.3f} "
+              f"{report.mean('recall'):8.3f} {report.mean('f1'):8.3f} "
+              f"{seconds:7.1f}")
+
+    print("\npaper band: 89-96% F-measure (10-fold CV); "
+          "BiGRU ~= BiLSTM quality with faster training (Section 3.6)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small COVIDKG system end to end.
+
+Generates a synthetic CORD-19-style corpus, trains the embeddings and the
+metadata classifier, ingests everything (storage + search indexes + KG
+fusion), and runs one query against each surface.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CorpusGenerator, CovidKG, CovidKGConfig, GeneratorConfig
+
+
+def main() -> None:
+    print("=== COVIDKG quickstart ===\n")
+
+    generator = CorpusGenerator(GeneratorConfig(
+        seed=7, papers_per_week=25, tables_per_paper=(1, 2),
+    ))
+    corpus = generator.papers(75)
+    print(f"generated {len(corpus)} CORD-19-style publications")
+
+    system = CovidKG(CovidKGConfig(num_shards=4, vocabulary_size=20_000,
+                                   wdc_training_tables=40, seed=7))
+    print("training vocabulary, Word2Vec embeddings, metadata SVM ...")
+    system.train(corpus[:30], word2vec_epochs=2)
+    print(f"registered models: {system.registry.names()}")
+
+    print("\ningesting the corpus (store + search indexes + KG fusion) ...")
+    report = system.ingest(corpus)
+    print(f"extracted {report.subtrees} subtrees; "
+          f"fusion actions: {report.actions()}")
+
+    print("\n--- all-fields search: 'vaccine efficacy' ---")
+    results = system.search("vaccine efficacy")
+    print(f"{results.total_matches} matches "
+          f"({results.seconds * 1000:.1f} ms)")
+    for result in list(results)[:3]:
+        print(f"  [{result.score:6.2f}] {result.title}")
+
+    print("\n--- table search: 'side effect' ---")
+    table_hits = system.search_tables("side effect")
+    print(f"{table_hits.total_matches} papers with matching tables")
+    for result in list(table_hits)[:2]:
+        print(f"  {result.title}")
+        for table in result.extras["tables"][:1]:
+            print(f"    table: {table['caption'][:70]}")
+
+    print("\n--- knowledge-graph search: 'side effects' ---")
+    for hit in system.search_graph("side effects", top_k=3):
+        print(f"  {hit.rendered_path()}  "
+              f"({len(hit.papers)} linked papers)")
+
+    stats = system.statistics()
+    print("\n--- system statistics ---")
+    print(f"publications: {stats['publications']}, "
+          f"shards: {stats['shard_sizes']}")
+    print(f"KG: {stats['kg']}")
+    print(f"storage: {stats['storage_bytes'] / 1024:.0f} KiB, "
+          f"pending expert reviews: {stats['pending_reviews']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP-517 editable path (which shells out to ``bdist_wheel``) is unavailable.
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this shim
+instead; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

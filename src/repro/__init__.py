@@ -1,0 +1,46 @@
+"""repro — a reproduction of COVIDKG.ORG (EDBT 2023).
+
+COVIDKG.ORG is a web-scale, interactive COVID-19 knowledge graph built
+from the CORD-19 literature, served through three advanced aggregation-
+pipeline search engines, and kept current by deep-learning table-metadata
+classifiers and an embedding-driven fusion module.
+
+Quick start::
+
+    from repro import CovidKG, CorpusGenerator
+
+    corpus = CorpusGenerator().papers(100)
+    system = CovidKG()
+    system.train(corpus[:40])
+    system.ingest(corpus)
+    for hit in system.search("vaccine side effects"):
+        print(hit.title)
+
+Subpackages: :mod:`repro.docstore` (sharded JSON store + aggregation
+pipelines), :mod:`repro.text` (tokenizer/stemmer/TF-IDF/normalizer),
+:mod:`repro.tables` (HTML table parser + positional features),
+:mod:`repro.corpus` (synthetic CORD-19/WDC generators),
+:mod:`repro.neural` (numpy DL framework: GRU/LSTM/BiRNN),
+:mod:`repro.ml` (SVM, k-means, cross-validation),
+:mod:`repro.embeddings` (Word2Vec + tabular embeddings),
+:mod:`repro.classify` (the Figure 3 BiGRU ensemble + SVM),
+:mod:`repro.search` (the three engines), :mod:`repro.kg` (the knowledge
+graph, fusion, meta-profiles), :mod:`repro.api` (the system facade).
+"""
+
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.ontology import seed_covid_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CovidKG",
+    "CovidKGConfig",
+    "CorpusGenerator",
+    "GeneratorConfig",
+    "KnowledgeGraph",
+    "seed_covid_graph",
+    "__version__",
+]

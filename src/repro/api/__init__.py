@@ -1,0 +1,13 @@
+"""Public API: the CovidKG system facade and the pre-trained model registry.
+
+:class:`repro.api.system.CovidKG` wires the whole architecture of the
+paper's Figure 1 together — storage, deep-learning models, search engines,
+knowledge graph, enrichment, review — behind one object.  №11/№13 of the
+figure (API users reusing released models and embeddings) are served by
+:class:`repro.api.registry.ModelRegistry`.
+"""
+
+from repro.api.registry import ModelRegistry
+from repro.api.system import CovidKG, CovidKGConfig
+
+__all__ = ["ModelRegistry", "CovidKG", "CovidKGConfig"]

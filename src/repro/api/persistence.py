@@ -1,0 +1,127 @@
+"""Whole-system persistence: save/load a built CovidKG to a directory.
+
+Layout of a saved system:
+
+.. code-block:: text
+
+    <directory>/
+        config.json          CovidKGConfig fields
+        kg.json              the knowledge graph
+        publications.jsonl   the (enriched) publication store
+        word2vec.npz         trained embeddings + vocabulary (if trained)
+        classifier.npz       trained metadata SVM (if trained)
+        manifest.json        model-registry index
+
+``load_system`` rebuilds the sharded store, re-indexes all three search
+engines from the stored publications, and re-attaches the trained models,
+so a reloaded system answers queries identically to the one that was
+saved.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.classify.svm_model import SvmMetadataClassifier
+from repro.docstore.documents import ObjectId
+from repro.embeddings.word2vec import Word2Vec
+from repro.errors import PersistenceError
+
+
+def save_system(system: CovidKG, directory: str | Path) -> Path:
+    """Persist ``system`` under ``directory``; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "config.json", "w", encoding="utf-8") as handle:
+        json.dump(asdict(system.config), handle, indent=2)
+
+    system.graph.save(directory / "kg.json")
+
+    with open(directory / "publications.jsonl", "w",
+              encoding="utf-8") as handle:
+        for document in system.store.all_documents():
+            document = dict(document)
+            oid = document.get("_id")
+            if isinstance(oid, ObjectId):
+                document["_id"] = str(oid)
+            handle.write(json.dumps(document, separators=(",", ":")))
+            handle.write("\n")
+
+    if system.word2vec is not None:
+        system.word2vec.save(directory / "word2vec.npz")
+    if isinstance(system.classifier, SvmMetadataClassifier):
+        # Only the linear classifier is serializable today; a BiGRU
+        # classifier is retrained from the saved embeddings on reload.
+        system.classifier.save(directory / "classifier.npz")
+    system.registry.save_manifest(directory / "manifest.json")
+    return directory
+
+
+def load_system(directory: str | Path) -> CovidKG:
+    """Rebuild a system saved with :func:`save_system`."""
+    directory = Path(directory)
+    config_path = directory / "config.json"
+    if not config_path.exists():
+        raise PersistenceError(f"no saved system at {directory}")
+    with open(config_path, encoding="utf-8") as handle:
+        config = CovidKGConfig(**json.load(handle))
+
+    system = CovidKG(config)
+
+    kg_path = directory / "kg.json"
+    if kg_path.exists():
+        from repro.kg.graph import KnowledgeGraph
+
+        system.graph = KnowledgeGraph.load(kg_path)
+        # Re-point every graph consumer at the restored instance.
+        system.matcher.graph = system.graph
+        system.fusion.graph = system.graph
+        system.kg_search.graph = system.graph
+
+    w2v_path = directory / "word2vec.npz"
+    if w2v_path.exists():
+        system.word2vec = Word2Vec.load(w2v_path)
+        system.vocabulary = system.word2vec.vocabulary
+        system.matcher.word2vec = system.word2vec
+        system.registry.register(
+            "covidkg-word2vec", "embedding", system.word2vec,
+            dim=system.word2vec.dim, restored=True,
+        )
+        system.registry.register(
+            "covidkg-vocabulary", "vocabulary", system.vocabulary,
+            size=len(system.vocabulary), restored=True,
+        )
+
+    classifier_path = directory / "classifier.npz"
+    if classifier_path.exists():
+        system.classifier = SvmMetadataClassifier.load(classifier_path)
+        system.registry.register(
+            "covidkg-metadata-svm", "classifier", system.classifier,
+            restored=True,
+        )
+
+    publications_path = directory / "publications.jsonl"
+    if publications_path.exists():
+        with open(publications_path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    document = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise PersistenceError(
+                        f"corrupt publications file at line {line_number}: "
+                        f"{exc}"
+                    ) from exc
+                document.pop("_id", None)  # store assigns fresh ids
+                system.store.insert_one(document)
+                system.all_fields.add_paper(document)
+                system.title_abstract.add_paper(document)
+                system.tables.add_paper(document)
+                system._ingested_papers.append(document)
+    return system

@@ -1,0 +1,84 @@
+"""Registry of released pre-trained models and embeddings (№11/№13).
+
+"COVIDKG.ORG also releases hundreds of pre-trained models and embeddings
+as an API for reuse by data scientists and developers."  The registry
+holds named artifacts with metadata; callers fetch them for fine-tuning or
+inference.  A JSON manifest (no weights) can be exported so an index of
+available artifacts is publishable separately from the artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import RegistryError
+
+
+@dataclass
+class RegistryEntry:
+    """One released artifact."""
+
+    name: str
+    kind: str                      # "embedding" | "classifier" | "vocabulary" | ...
+    artifact: Any
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Named store of models/embeddings with kind and metadata filters."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegistryEntry] = {}
+
+    def register(self, name: str, kind: str, artifact: Any,
+                 **metadata: Any) -> RegistryEntry:
+        if not name:
+            raise RegistryError("artifact name must be non-empty")
+        if name in self._entries:
+            raise RegistryError(f"artifact {name!r} already registered")
+        entry = RegistryEntry(name=name, kind=kind, artifact=artifact,
+                              metadata=dict(metadata))
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> Any:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise RegistryError(
+                f"unknown artifact {name!r}; available: {self.names()}"
+            )
+        return entry.artifact
+
+    def entry(self, name: str) -> RegistryEntry:
+        if name not in self._entries:
+            raise RegistryError(f"unknown artifact {name!r}")
+        return self._entries[name]
+
+    def names(self, kind: str | None = None) -> list[str]:
+        return sorted(
+            name for name, entry in self._entries.items()
+            if kind is None or entry.kind == kind
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def manifest(self) -> list[dict[str, Any]]:
+        """Publishable index: names, kinds, metadata — no weights."""
+        return [
+            {"name": entry.name, "kind": entry.kind,
+             "metadata": entry.metadata}
+            for entry in self._entries.values()
+        ]
+
+    def save_manifest(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.manifest(), handle, indent=2, default=str)

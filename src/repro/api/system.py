@@ -1,0 +1,346 @@
+"""The CovidKG system facade: the whole of Figure 1 behind one object.
+
+Lifecycle:
+
+1. ``CovidKG()`` seeds the knowledge graph from the expert layout (№1/№2)
+   and opens the sharded publication store (№2/№3).
+2. ``train(...)`` builds the vocabulary and Word2Vec embeddings
+   (pre-trained on WDC + corpus sentences, №4), trains the metadata
+   classifiers, and registers everything in the model registry (№11/№13).
+3. ``ingest(papers)`` runs the full non-stop pipeline per paper: validate,
+   re-parse raw HTML tables, classify table rows as metadata/data, store
+   the enriched JSON in the sharded store, index it in all three search
+   engines, extract entity subtrees, and fuse them into the KG (№5/№6/№14).
+4. Query surfaces: the three search engines (Section 2.1), KG search with
+   path highlighting (Section 4.2), and meta-profiles (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.registry import ModelRegistry
+from repro.classify.bigru_model import NeuralMetadataClassifier
+from repro.classify.dataset import MetadataDataset
+from repro.classify.svm_model import SvmMetadataClassifier
+from repro.corpus.schema import full_text, validate_paper
+from repro.docstore.persistence import StorageReport, storage_report
+from repro.docstore.sharding import ShardedCollection
+from repro.embeddings.word2vec import Word2Vec
+from repro.errors import ModelError
+from repro.kg.bias import BiasInterrogator, BiasReport
+from repro.kg.enrichment import EnrichmentPipeline, EnrichmentReport
+from repro.kg.fusion import FusionEngine
+from repro.kg.matching import NodeMatcher
+from repro.kg.metaprofile import MetaProfile, build_side_effect_profile
+from repro.kg.ontology import seed_covid_graph
+from repro.kg.review import ExpertReviewQueue
+from repro.kg.search import KGSearchEngine, KGSearchHit
+from repro.search.all_fields import AllFieldsEngine
+from repro.search.engine import SearchResults
+from repro.search.table_search import TableSearchEngine
+from repro.search.title_abstract import TitleAbstractCaptionEngine
+from repro.tables.html_parser import parse_html_tables
+from repro.text.vocabulary import Vocabulary
+
+
+@dataclass
+class CovidKGConfig:
+    """System-level knobs.
+
+    ``classifier`` selects the table-metadata model the ingest pipeline
+    runs "non-stop": ``"svm"`` (fast, the default at laptop scale) or
+    ``"bigru"`` (the Figure 3 ensemble, initialized from the pre-trained
+    Word2Vec vectors and fine-tuned end to end).
+    """
+
+    num_shards: int = 4
+    shard_key: str = "paper_id"
+    vocabulary_size: int = 100_000
+    embedding_dim: int = 24
+    wdc_training_tables: int = 60
+    classifier: str = "svm"
+    classifier_epochs: int = 4
+    seed: int = 0
+
+
+class CovidKG:
+    """The assembled COVIDKG.ORG system."""
+
+    def __init__(self, config: CovidKGConfig | None = None) -> None:
+        self.config = config or CovidKGConfig()
+        # №2: the knowledge graph, expert-seeded.
+        self.graph = seed_covid_graph()
+        # №2/№3: sharded JSON publication storage.
+        self.store = ShardedCollection(
+            "publications", shard_key=self.config.shard_key,
+            num_shards=self.config.num_shards,
+        )
+        self.store.create_index("paper_id", unique=True)
+        # Section 2.1: the three search engines.
+        self.all_fields = AllFieldsEngine()
+        self.title_abstract = TitleAbstractCaptionEngine()
+        self.tables = TableSearchEngine()
+        # Section 4: matching/fusion/review/enrichment.
+        self.review_queue = ExpertReviewQueue()
+        self.matcher = NodeMatcher(self.graph)
+        self.fusion = FusionEngine(self.graph, self.matcher,
+                                   review_queue=self.review_queue)
+        self.enrichment = EnrichmentPipeline(self.fusion)
+        self.kg_search = KGSearchEngine(self.graph)
+        # №11/№13: released models.
+        self.registry = ModelRegistry()
+        self.vocabulary: Vocabulary | None = None
+        self.word2vec: Word2Vec | None = None
+        self.classifier: (
+            SvmMetadataClassifier | NeuralMetadataClassifier | None
+        ) = None
+        self._ingested_papers: list[dict[str, Any]] = []
+
+    # -- training (№4) ---------------------------------------------------------
+
+    def train(self, papers: list[dict[str, Any]],
+              word2vec_epochs: int = 3) -> None:
+        """Build vocabulary + embeddings and train the metadata classifier.
+
+        ``papers`` is the training slice of the corpus (embeddings
+        pre-train on it plus WDC-style tables, mirroring the paper's
+        WDC + CORD-19 recipe).
+        """
+        texts = [full_text(paper) for paper in papers]
+        wdc = MetadataDataset.from_wdc(
+            self.config.wdc_training_tables, seed=self.config.seed
+        )
+        texts.extend(wdc.texts())
+        self.vocabulary = Vocabulary.from_texts(
+            texts, max_terms=self.config.vocabulary_size,
+            drop_stopwords=False,
+        )
+        self.word2vec = Word2Vec(
+            self.vocabulary, dim=self.config.embedding_dim,
+            seed=self.config.seed,
+        ).fit(texts, epochs=word2vec_epochs)
+        # The paper composes its training sets "from Web-scale datasets
+        # such as WDC and CORD-19 respectively": merge both table sources.
+        corpus_tables = MetadataDataset.from_papers(papers)
+        training = wdc.merged_with(corpus_tables).shuffled(self.config.seed)
+        if self.config.classifier == "bigru":
+            model = NeuralMetadataClassifier(
+                self.vocabulary,
+                cell="gru",
+                embed_dim=self.config.embedding_dim,
+                seed=self.config.seed,
+                pretrained_vectors=self.word2vec.matrix,
+            )
+            model.fit(training, epochs=self.config.classifier_epochs)
+            self.classifier = model
+        elif self.config.classifier == "svm":
+            self.classifier = SvmMetadataClassifier(
+                seed=self.config.seed
+            ).fit(training)
+        else:
+            raise ModelError(
+                f"unknown classifier {self.config.classifier!r}; "
+                "use 'svm' or 'bigru'"
+            )
+        # Swap the matcher to embedding-aware matching now vectors exist.
+        self.matcher.word2vec = self.word2vec
+        self.matcher.invalidate_cache()
+
+        self.registry.register(
+            "covidkg-vocabulary", "vocabulary", self.vocabulary,
+            size=len(self.vocabulary),
+        )
+        self.registry.register(
+            "covidkg-word2vec", "embedding", self.word2vec,
+            dim=self.config.embedding_dim,
+            pretraining="WDC+CORD19-style",
+        )
+        self.registry.register(
+            f"covidkg-metadata-{self.config.classifier}", "classifier",
+            self.classifier,
+            architecture=self.config.classifier,
+        )
+
+    # -- ingest (№3/№5/№6, non-stop classification) ------------------------
+
+    def ingest(self, papers: list[dict[str, Any]],
+               skip_duplicates: bool = False) -> EnrichmentReport:
+        """Run the full pipeline over a batch of new publications.
+
+        ``skip_duplicates`` makes re-delivered papers (same ``paper_id``)
+        a no-op instead of an error — streaming feeds redeliver, and the
+        weekly CORD-19 drops overlap.
+        """
+        accepted = []
+        for paper in papers:
+            paper = validate_paper(paper)
+            if skip_duplicates and self.store.find_one(
+                {"paper_id": paper["paper_id"]}
+            ) is not None:
+                continue
+            enriched = self._classify_tables(paper)
+            self.store.insert_one(enriched)
+            self.all_fields.add_paper(enriched)
+            self.title_abstract.add_paper(enriched)
+            self.tables.add_paper(enriched)
+            self._ingested_papers.append(enriched)
+            accepted.append(paper)
+        report = EnrichmentReport()
+        for paper in accepted:
+            for subtree in self.enrichment.extract_subtrees(paper):
+                report.subtrees += 1
+                report.fusion_results.append(self.fusion.fuse(subtree))
+        return report
+
+    def _classify_tables(self, paper: dict[str, Any]) -> dict[str, Any]:
+        """Re-parse raw HTML tables and classify rows as metadata/data.
+
+        When a table ships raw HTML (as CORD-19 fragments do), the HTML
+        parser output replaces the pre-parsed rows, and the trained
+        classifier assigns ``is_metadata`` to every row; structural labels
+        (``<th>`` rows) act as the fallback when no model is trained.
+        """
+        paper = dict(paper)
+        new_tables = []
+        for table_json in paper.get("tables", []):
+            html = table_json.get("html")
+            if not html:
+                new_tables.append(table_json)
+                continue
+            parsed = parse_html_tables(html, paper_id=paper["paper_id"])[0]
+            parsed.table_id = table_json.get("table_id", parsed.table_id)
+            if self.classifier is not None:
+                dataset = self._table_as_dataset(parsed)
+                predictions = self.classifier.predict(dataset)
+                for row, label in zip(parsed.rows, predictions):
+                    row.is_metadata = bool(label)
+            merged = dict(table_json)
+            merged.update(parsed.to_json())
+            new_tables.append(merged)
+        paper["tables"] = new_tables
+        return paper
+
+    @staticmethod
+    def _table_as_dataset(table) -> MetadataDataset:
+        for row in table.rows:
+            if row.is_metadata is None:
+                row.is_metadata = False  # placeholder label for featurizing
+        return MetadataDataset.from_table(table)
+
+    # -- queries --------------------------------------------------------------
+
+    def search(self, query: str, page: int = 1) -> SearchResults:
+        """The default (all-fields) search engine."""
+        return self.all_fields.search(query, page=page)
+
+    def search_tables(self, query: str, page: int = 1) -> SearchResults:
+        return self.tables.search(query, page=page)
+
+    def search_fields(self, title: str | None = None,
+                      abstract: str | None = None,
+                      caption: str | None = None,
+                      page: int = 1) -> SearchResults:
+        return self.title_abstract.search(
+            title=title, abstract=abstract, caption=caption, page=page
+        )
+
+    def search_graph(self, query: str, top_k: int = 10
+                     ) -> list[KGSearchHit]:
+        return self.kg_search.search(query, top_k=top_k)
+
+    def meta_profile(self, papers: list[dict[str, Any]] | None = None
+                     ) -> MetaProfile:
+        """Figure 6's vaccine x dosage x paper side-effect profile."""
+        source = papers if papers is not None else self._ingested_papers
+        if not source:
+            raise ModelError("no papers ingested yet")
+        return build_side_effect_profile(source)
+
+    def browse(self) -> "BrowserSession":
+        """An interactive browsing session over the KG (№9/№10)."""
+        from repro.kg.browse import BrowserSession  # noqa: PLC0415
+
+        return BrowserSession(self.graph)
+
+    def explain_node(self, node_id: str,
+                     max_papers: int = 5) -> dict[str, Any]:
+        """Provenance drill-down: the papers behind a KG node.
+
+        "The nodes along the path provide access to the publications,
+        where the result is coming from" — for each linked paper this
+        returns its title, date, journal, and a snippet around the
+        node's label when the text mentions it.
+        """
+        from repro.search.query import parse_query  # noqa: PLC0415
+        from repro.search.snippets import snippet  # noqa: PLC0415
+
+        node = self.graph.node(node_id)
+        path = [item.label for item in self.graph.path_to(node_id)]
+        papers = []
+        try:
+            parsed = parse_query(node.label)
+        except Exception:  # label with no searchable tokens
+            parsed = None
+        for paper_id in self.graph.papers_for(node_id)[:max_papers]:
+            stored = self.store.find_one({"paper_id": paper_id})
+            if stored is None:
+                continue
+            entry = {
+                "paper_id": paper_id,
+                "title": stored.get("title", ""),
+                "journal": stored.get("journal", ""),
+                "publish_time": stored.get("publish_time", ""),
+            }
+            if parsed is not None:
+                search_fields = stored.get("search", {})
+                for field_name in ("abstract", "body", "table_captions"):
+                    excerpt = snippet(
+                        search_fields.get(field_name, ""), parsed
+                    )
+                    if excerpt:
+                        entry["snippet"] = excerpt
+                        break
+            papers.append(entry)
+        return {
+            "node": node.to_json(),
+            "path": path,
+            "papers": papers,
+            "total_papers": len(self.graph.papers_for(node_id)),
+        }
+
+    def interrogate_bias(self, num_clusters: int = 8,
+                         seed: int = 0) -> BiasReport:
+        """Audit the ingested corpus + KG for bias (the title's promise).
+
+        Checks topical balance (via the learned clustering), journal
+        concentration, thin KG provenance, and contested numeric claims;
+        see :mod:`repro.kg.bias`.
+        """
+        if not self._ingested_papers:
+            raise ModelError("no papers ingested yet")
+        return BiasInterrogator().interrogate(
+            self._ingested_papers, graph=self.graph,
+            pipeline=self.enrichment, num_clusters=num_clusters,
+            seed=seed,
+        )
+
+    # -- operations -------------------------------------------------------
+
+    def review_pending(self):
+        return self.review_queue.pending()
+
+    def storage(self) -> StorageReport:
+        return storage_report(self.store)
+
+    def statistics(self) -> dict[str, Any]:
+        """One-call system dashboard."""
+        return {
+            "publications": len(self.store),
+            "kg": self.graph.statistics(),
+            "storage_bytes": self.storage().total_bytes,
+            "shard_sizes": self.store.shard_sizes(),
+            "pending_reviews": len(self.review_queue.pending()),
+            "registered_models": len(self.registry),
+        }

@@ -1,0 +1,28 @@
+"""Metadata classification: is a table tuple a (metadata) header or data?
+
+This package implements Section 3 of the paper end to end:
+
+* :mod:`repro.classify.dataset` — labeled-tuple datasets from WDC and
+  CORD-19-style tables, with the Section 3.5 positional features and the
+  Section 3.4 numeric normalization applied,
+* :mod:`repro.classify.svm_model` — the SVM classifier over positional +
+  hashed lexical features,
+* :mod:`repro.classify.bigru_model` — the BiGRU ensemble with parallel
+  term- and cell-level embedding layers (Figure 3), plus the BiLSTM
+  variant used by the Section 3.6 ablation,
+* :mod:`repro.classify.evaluate` — the 10-fold cross-validation harness
+  reporting F-measure by orientation and table size (Section 3.3).
+"""
+
+from repro.classify.bigru_model import NeuralMetadataClassifier
+from repro.classify.dataset import LabeledTuple, MetadataDataset
+from repro.classify.evaluate import evaluate_classifier_cv
+from repro.classify.svm_model import SvmMetadataClassifier
+
+__all__ = [
+    "NeuralMetadataClassifier",
+    "LabeledTuple",
+    "MetadataDataset",
+    "evaluate_classifier_cv",
+    "SvmMetadataClassifier",
+]

@@ -1,0 +1,174 @@
+"""Labeled-tuple datasets for metadata classification.
+
+A :class:`LabeledTuple` is one table line (row, or column of a vertical
+table) together with its positional features and ground-truth label.
+:class:`MetadataDataset` collects them from WDC-style tables and from the
+tables embedded in CORD-19-style papers, preserving per-tuple provenance
+(orientation, table shape) so the evaluation can slice metrics by those
+axes exactly as the paper's Section 3.3 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.corpus.wdc import WdcTableGenerator
+from repro.errors import ModelError
+from repro.tables.features import RowFeatures, table_features
+from repro.tables.model import Table
+
+
+@dataclass(frozen=True)
+class LabeledTuple:
+    """One classification instance."""
+
+    cells: tuple[str, ...]
+    label: bool
+    features: RowFeatures
+    orientation: str          # "horizontal" | "vertical"
+    table_rows: int           # shape of the source table (pre-transpose)
+    table_columns: int
+
+    @property
+    def text(self) -> str:
+        """The normalized f1 text of the tuple."""
+        return self.features.f1_text
+
+
+class MetadataDataset:
+    """A collection of labeled tuples with slicing helpers."""
+
+    def __init__(self, tuples: list[LabeledTuple]) -> None:
+        self.tuples = tuples
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([int(t.label) for t in self.tuples])
+
+    @property
+    def cell_lists(self) -> list[list[str]]:
+        return [list(t.cells) for t in self.tuples]
+
+    def subset(self, indices: Iterable[int]) -> "MetadataDataset":
+        return MetadataDataset([self.tuples[i] for i in indices])
+
+    def by_orientation(self, orientation: str) -> "MetadataDataset":
+        return MetadataDataset(
+            [t for t in self.tuples if t.orientation == orientation]
+        )
+
+    def by_size(self, min_rows: int = 0, max_rows: int = 10**9,
+                min_columns: int = 0,
+                max_columns: int = 10**9) -> "MetadataDataset":
+        return MetadataDataset([
+            t for t in self.tuples
+            if min_rows <= t.table_rows <= max_rows
+            and min_columns <= t.table_columns <= max_columns
+        ])
+
+    def texts(self) -> list[str]:
+        return [t.text for t in self.tuples]
+
+    def balance_summary(self) -> dict[str, int]:
+        positives = int(self.labels.sum())
+        return {"total": len(self), "metadata": positives,
+                "data": len(self) - positives}
+
+    # -- builders ---------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: Table, orientation: str = "horizontal"
+                   ) -> "MetadataDataset":
+        """Labeled tuples from one table whose rows carry labels."""
+        tuples = []
+        features = table_features(table)
+        for row, row_feats in zip(table.rows, features):
+            if row.is_metadata is None:
+                continue
+            tuples.append(LabeledTuple(
+                cells=tuple(row.texts),
+                label=bool(row.is_metadata),
+                features=row_feats,
+                orientation=orientation,
+                table_rows=table.num_rows,
+                table_columns=table.num_columns,
+            ))
+        return cls(tuples)
+
+    @classmethod
+    def from_tables(cls, labeled_tables: list[tuple[Table, str]]
+                    ) -> "MetadataDataset":
+        tuples: list[LabeledTuple] = []
+        for table, orientation in labeled_tables:
+            tuples.extend(cls.from_table(table, orientation).tuples)
+        return cls(tuples)
+
+    @classmethod
+    def from_wdc(cls, count: int, seed: int = 0,
+                 orientations: tuple[str, ...] = ("horizontal", "vertical"),
+                 num_data_rows: int | None = None,
+                 num_columns: int | None = None,
+                 variants: tuple[str, ...] = ("plain",)) -> "MetadataDataset":
+        """Generate WDC tables and convert to classification tuples.
+
+        Vertical tables are transposed first (header columns become
+        tuples), mirroring the run-time path through
+        :func:`repro.tables.orientation.rows_for_classification`.
+        ``variants`` cycles through the structural variants of
+        :class:`~repro.corpus.wdc.WdcTableGenerator` (title rows,
+        headerless continuations, summary rows) for harder datasets;
+        vertical tables always use the plain layout.
+        """
+        generator = WdcTableGenerator(seed=seed)
+        labeled_tables: list[tuple[Table, str]] = []
+        for index in range(count):
+            orientation = orientations[index % len(orientations)]
+            variant = (
+                variants[index % len(variants)]
+                if orientation == "horizontal" else "plain"
+            )
+            generated = generator.generate(
+                index, orientation=orientation,
+                num_data_rows=num_data_rows, num_columns=num_columns,
+                variant=variant,
+            )
+            table = generated.table
+            if orientation == "vertical":
+                table = table.transposed()
+            for position, row in enumerate(table.rows):
+                row.is_metadata = position in generated.metadata_lines
+            labeled_tables.append((table, orientation))
+        return cls.from_tables(labeled_tables)
+
+    @classmethod
+    def from_papers(cls, papers: list[dict[str, Any]]) -> "MetadataDataset":
+        """Tuples from the labeled tables inside CORD-19-style papers."""
+        labeled_tables = []
+        for paper in papers:
+            for table_json in paper.get("tables", []):
+                table = Table.from_json(table_json)
+                labeled_tables.append((table, "horizontal"))
+        return cls.from_tables(labeled_tables)
+
+    def merged_with(self, other: "MetadataDataset") -> "MetadataDataset":
+        return MetadataDataset(self.tuples + other.tuples)
+
+    def shuffled(self, seed: int = 0) -> "MetadataDataset":
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.tuples))
+        return self.subset(order.tolist())
+
+    def require_both_classes(self) -> "MetadataDataset":
+        labels = self.labels
+        if labels.sum() == 0 or labels.sum() == len(labels):
+            raise ModelError("dataset must contain both classes")
+        return self

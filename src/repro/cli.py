@@ -1,0 +1,167 @@
+"""Command-line interface for building and querying a CovidKG system.
+
+Subcommands:
+
+* ``generate``  — write a synthetic CORD-19-style corpus to JSONL
+* ``build``     — train + ingest a corpus and save the system
+* ``search``    — all-fields search against a saved system
+* ``tables``    — table search against a saved system
+* ``kg``        — knowledge-graph search with path highlighting
+* ``stats``     — system dashboard
+* ``bias``      — run the bias interrogation
+
+Example session::
+
+    repro-covidkg generate --papers 200 --out corpus.jsonl
+    repro-covidkg build --corpus corpus.jsonl --out ./kgdata
+    repro-covidkg search --system ./kgdata "vaccine side effects"
+    repro-covidkg kg --system ./kgdata "side effects"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api.persistence import load_system, save_system
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.corpus.loader import load_papers_jsonl, save_papers_jsonl
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = CorpusGenerator(GeneratorConfig(
+        seed=args.seed, papers_per_week=args.papers_per_week,
+    ))
+    papers = generator.papers(args.papers)
+    count = save_papers_jsonl(papers, args.out)
+    print(f"wrote {count} papers to {args.out}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    papers = load_papers_jsonl(args.corpus)
+    system = CovidKG(CovidKGConfig(num_shards=args.shards,
+                                   seed=args.seed))
+    training = papers[: max(1, len(papers) // 3)]
+    print(f"training on {len(training)} papers ...")
+    system.train(training, word2vec_epochs=args.epochs)
+    print(f"ingesting {len(papers)} papers ...")
+    report = system.ingest(papers)
+    print(f"fused {report.subtrees} subtrees: {report.actions()}")
+    save_system(system, args.out)
+    print(f"system saved to {args.out}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    results = system.search(args.query, page=args.page)
+    print(f"{results.total_matches} matches "
+          f"(page {results.page}/{max(1, results.num_pages)}, "
+          f"{results.seconds * 1000:.1f} ms)")
+    for result in results:
+        print(f"  [{result.score:7.2f}] {result.paper_id}  {result.title}")
+        for field_name, excerpt in list(result.snippets.items())[:2]:
+            print(f"      {field_name}: {excerpt[:100]}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    results = system.search_tables(args.query, page=args.page)
+    print(f"{results.total_matches} papers with matching tables")
+    for result in results:
+        print(f"  [{result.score:7.2f}] {result.title}")
+        for table in result.extras["tables"][:1]:
+            print(f"      {table['caption'][:100]}")
+    return 0
+
+
+def _cmd_kg(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    hits = system.search_graph(args.query, top_k=args.top)
+    if not hits:
+        print("no matching knowledge-graph nodes")
+        return 1
+    for hit in hits:
+        papers = f" ({len(hit.papers)} papers)" if hit.papers else ""
+        print(f"  {hit.rendered_path()}{papers}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    for key, value in system.statistics().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_bias(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    report = system.interrogate_bias(num_clusters=args.clusters)
+    print(f"topic balance:  {report.topic_balance:.3f}")
+    print(f"source balance: {report.source_balance:.3f}")
+    for flag in report.worst(args.top):
+        print(f"  {flag}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-covidkg",
+        description="Build and query a COVIDKG.ORG-style knowledge graph.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a synthetic corpus")
+    generate.add_argument("--papers", type=int, default=100)
+    generate.add_argument("--papers-per-week", type=int, default=50)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    build = sub.add_parser("build", help="train + ingest + save a system")
+    build.add_argument("--corpus", required=True)
+    build.add_argument("--out", required=True)
+    build.add_argument("--shards", type=int, default=4)
+    build.add_argument("--epochs", type=int, default=2)
+    build.add_argument("--seed", type=int, default=0)
+    build.set_defaults(func=_cmd_build)
+
+    for name, func, help_text in (
+        ("search", _cmd_search, "all-fields search"),
+        ("tables", _cmd_tables, "table search"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--system", required=True)
+        cmd.add_argument("--page", type=int, default=1)
+        cmd.add_argument("query")
+        cmd.set_defaults(func=func)
+
+    kg = sub.add_parser("kg", help="knowledge-graph search")
+    kg.add_argument("--system", required=True)
+    kg.add_argument("--top", type=int, default=10)
+    kg.add_argument("query")
+    kg.set_defaults(func=_cmd_kg)
+
+    stats = sub.add_parser("stats", help="system dashboard")
+    stats.add_argument("--system", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    bias = sub.add_parser("bias", help="bias interrogation")
+    bias.add_argument("--system", required=True)
+    bias.add_argument("--clusters", type=int, default=8)
+    bias.add_argument("--top", type=int, default=10)
+    bias.set_defaults(func=_cmd_bias)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

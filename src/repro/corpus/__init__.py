@@ -1,0 +1,24 @@
+"""Corpus substrate: synthetic CORD-19 and WDC generators plus loaders.
+
+The real CORD-19 dataset (450k+ publications) is not available offline, so
+:mod:`repro.corpus.generator` synthesizes a corpus with the same JSON
+schema and the statistical structure the system exercises: topical
+clusters, entity mentions (vaccines / strains / side-effects), HTML tables
+with labeled header rows, and week-over-week growth.  The WDC web-table
+corpus used for classifier pre-training is synthesized likewise.
+DESIGN.md records this substitution.
+"""
+
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.corpus.loader import load_papers_jsonl, save_papers_jsonl
+from repro.corpus.schema import validate_paper
+from repro.corpus.wdc import WdcTableGenerator
+
+__all__ = [
+    "CorpusGenerator",
+    "GeneratorConfig",
+    "load_papers_jsonl",
+    "save_papers_jsonl",
+    "validate_paper",
+    "WdcTableGenerator",
+]

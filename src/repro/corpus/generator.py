@@ -1,0 +1,297 @@
+"""Deterministic synthetic CORD-19-style corpus generator.
+
+Substitutes for the real CORD-19 dump (see DESIGN.md).  Every paper is
+drawn from a topic mixture with entity mentions, template sentences,
+labeled HTML tables, and a ``publish_time`` advancing ~``papers_per_week``
+per week — reproducing the growth dynamics the paper reports ("more than
+3,500 new publications were updated per week").
+
+Everything is a pure function of the seed, so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.corpus import vocabulary_data as vd
+from repro.errors import SchemaError
+from repro.tables.model import Table
+
+_EPOCH = datetime.date(2020, 1, 6)  # a Monday
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the synthetic corpus.
+
+    ``papers_per_week`` defaults to a laptop-scale stand-in for the paper's
+    3,500/week; scale it up in benchmarks that stress ingest.
+    """
+
+    seed: int = 0
+    papers_per_week: int = 50
+    topic_purity: float = 0.8
+    tables_per_paper: tuple[int, int] = (0, 3)
+    sections_per_paper: tuple[int, int] = (3, 5)
+    sentences_per_section: tuple[int, int] = (3, 6)
+    unseen_vaccine_rate: float = 0.02
+    topics: list[str] = field(
+        default_factory=lambda: list(vd.TOPICS)
+    )
+
+
+class CorpusGenerator:
+    """Generate CORD-19-style paper documents deterministically."""
+
+    def __init__(self, config: GeneratorConfig | None = None) -> None:
+        self.config = config or GeneratorConfig()
+        unknown = set(self.config.topics) - set(vd.TOPICS)
+        if unknown:
+            raise SchemaError(f"unknown topics in config: {sorted(unknown)}")
+
+    # -- public API ------------------------------------------------------
+
+    def papers(self, count: int) -> list[dict[str, Any]]:
+        """Generate ``count`` papers (index order == publish order)."""
+        return [self.paper(index) for index in range(count)]
+
+    def paper(self, index: int) -> dict[str, Any]:
+        """Generate the ``index``-th paper; pure function of (seed, index)."""
+        rng = np.random.default_rng((self.config.seed, index))
+        topic = self.config.topics[int(rng.integers(len(self.config.topics)))]
+        ground_truth: dict[str, Any] = {
+            "topic": topic, "vaccines": [], "strains": [],
+            "side_effects": [],
+        }
+
+        title = self._title(rng, topic)
+        abstract = self._paragraph(rng, topic, sentences=4)
+        body_text = self._body(rng, topic)
+        tables = self._tables(rng, topic, index, ground_truth)
+        figures = self._figures(rng, topic)
+        self._mention_entities(rng, topic, body_text, ground_truth)
+
+        week = index // self.config.papers_per_week
+        day = int(rng.integers(7))
+        publish = _EPOCH + datetime.timedelta(weeks=week, days=day)
+
+        return {
+            "paper_id": f"cord-{index:07d}",
+            "title": title,
+            "abstract": abstract,
+            "authors": self._authors(rng),
+            "publish_time": publish.isoformat(),
+            "journal": str(rng.choice(vd.JOURNALS)),
+            "body_text": body_text,
+            "tables": tables,
+            "figures": figures,
+            "ground_truth": ground_truth,
+        }
+
+    def weekly_batches(self, weeks: int) -> Iterator[list[dict[str, Any]]]:
+        """Yield one list of papers per simulated week (E12 ingest stream)."""
+        for week in range(weeks):
+            start = week * self.config.papers_per_week
+            yield [
+                self.paper(index)
+                for index in range(start,
+                                   start + self.config.papers_per_week)
+            ]
+
+    # -- text assembly ---------------------------------------------------------
+
+    def _topic_terms(self, rng: np.random.Generator, topic: str,
+                     count: int) -> list[str]:
+        """Mostly in-topic terms, with (1 - purity) leakage from others."""
+        terms = []
+        for _ in range(count):
+            if rng.random() < self.config.topic_purity:
+                pool = vd.TOPICS[topic]
+            else:
+                other = self.config.topics[
+                    int(rng.integers(len(self.config.topics)))
+                ]
+                pool = vd.TOPICS[other]
+            terms.append(str(rng.choice(pool)))
+        return terms
+
+    def _title(self, rng: np.random.Generator, topic: str) -> str:
+        template = str(rng.choice(vd.TITLE_TEMPLATES))
+        t0, t1 = self._topic_terms(rng, topic, 2)
+        return template.format(t0=t0, t1=t1)
+
+    def _sentence(self, rng: np.random.Generator, topic: str) -> str:
+        template = str(rng.choice(vd.SENTENCE_TEMPLATES))
+        t0, t1 = self._topic_terms(rng, topic, 2)
+        return template.format(t0=t0, t1=t1, n=int(rng.integers(10, 5000)))
+
+    def _paragraph(self, rng: np.random.Generator, topic: str,
+                   sentences: int) -> str:
+        return " ".join(
+            self._sentence(rng, topic) for _ in range(sentences)
+        )
+
+    def _body(self, rng: np.random.Generator,
+              topic: str) -> list[dict[str, str]]:
+        lo, hi = self.config.sections_per_paper
+        num_sections = int(rng.integers(lo, hi + 1))
+        slo, shi = self.config.sentences_per_section
+        return [
+            {
+                "section": vd.SECTION_NAMES[i % len(vd.SECTION_NAMES)],
+                "text": self._paragraph(
+                    rng, topic, int(rng.integers(slo, shi + 1))
+                ),
+            }
+            for i in range(num_sections)
+        ]
+
+    def _figures(self, rng: np.random.Generator,
+                 topic: str) -> list[dict[str, str]]:
+        count = int(rng.integers(0, 3))
+        return [
+            {"caption": f"Figure {i + 1}: {self._sentence(rng, topic)}"}
+            for i in range(count)
+        ]
+
+    def _authors(self, rng: np.random.Generator) -> list[dict[str, str]]:
+        count = int(rng.integers(1, 6))
+        return [
+            {
+                "first": str(rng.choice(vd.FIRST_NAMES)),
+                "last": str(rng.choice(vd.LAST_NAMES)),
+            }
+            for _ in range(count)
+        ]
+
+    def _pick_vaccine(self, rng: np.random.Generator) -> str:
+        if rng.random() < self.config.unseen_vaccine_rate:
+            return str(rng.choice(vd.UNSEEN_VACCINES))
+        return str(rng.choice(vd.KNOWN_VACCINES))
+
+    def _mention_entities(self, rng: np.random.Generator, topic: str,
+                          body_text: list[dict[str, str]],
+                          ground_truth: dict[str, Any]) -> None:
+        """Weave entity mentions into body sections, recording the truth."""
+        if topic in ("vaccines", "long_covid", "pediatrics") or \
+                rng.random() < 0.3:
+            vaccine = self._pick_vaccine(rng)
+            side_effect = str(rng.choice(vd.SIDE_EFFECTS_COMMON))
+            sentence = (
+                f" Participants who received the {vaccine} vaccine most "
+                f"frequently reported {side_effect}."
+            )
+            body_text[-1]["text"] += sentence
+            _record(ground_truth, "vaccines", vaccine)
+            _record(ground_truth, "side_effects", side_effect)
+        if topic == "variants" or rng.random() < 0.2:
+            strain = str(rng.choice(vd.STRAINS))
+            body_text[0]["text"] += (
+                f" The {strain} strain dominated sequenced samples."
+            )
+            _record(ground_truth, "strains", strain)
+
+    # -- table generation -------------------------------------------------------
+
+    def _tables(self, rng: np.random.Generator, topic: str, index: int,
+                ground_truth: dict[str, Any]) -> list[dict[str, Any]]:
+        lo, hi = self.config.tables_per_paper
+        count = int(rng.integers(lo, hi + 1))
+        tables = []
+        for table_number in range(count):
+            kind = str(rng.choice(
+                ["side_effects", "efficacy", "demographics"]
+            ))
+            if kind == "side_effects":
+                table = self._side_effect_table(rng, ground_truth)
+            elif kind == "efficacy":
+                table = self._efficacy_table(rng, ground_truth)
+            else:
+                table = self._demographics_table(rng)
+            table.paper_id = f"cord-{index:07d}"
+            table.table_id = f"t{table_number}"
+            tables.append({
+                **table.to_json(),
+                "kind": kind,
+                "html": _table_html(table),
+            })
+        return tables
+
+    def _side_effect_table(self, rng: np.random.Generator,
+                           ground_truth: dict[str, Any]) -> Table:
+        vaccine = self._pick_vaccine(rng)
+        _record(ground_truth, "vaccines", vaccine)
+        num_effects = int(rng.integers(3, 7))
+        effects = list(rng.choice(
+            vd.SIDE_EFFECTS_COMMON + vd.SIDE_EFFECTS_RARE,
+            size=num_effects, replace=False,
+        ))
+        grid = [["Side effect", "Dose 1 (%)", "Dose 2 (%)"]]
+        for effect in effects:
+            dose1 = round(float(rng.uniform(0.5, 60.0)), 1)
+            dose2 = round(min(95.0, dose1 * float(rng.uniform(1.0, 1.8))), 1)
+            grid.append([str(effect), str(dose1), str(dose2)])
+            _record(ground_truth, "side_effects", str(effect))
+        caption = (
+            f"Table: Side effects reported after {vaccine} vaccination, "
+            "by dose"
+        )
+        return Table.from_grid(grid, caption=caption, header_rows=1)
+
+    def _efficacy_table(self, rng: np.random.Generator,
+                        ground_truth: dict[str, Any]) -> Table:
+        num_vaccines = int(rng.integers(2, 5))
+        vaccines = list(rng.choice(vd.KNOWN_VACCINES, size=num_vaccines,
+                                   replace=False))
+        grid = [["Vaccine", "Doses", "Efficacy (%)", "95% CI"]]
+        for vaccine in vaccines:
+            efficacy = round(float(rng.uniform(55.0, 96.0)), 1)
+            lo = round(efficacy - float(rng.uniform(2, 8)), 1)
+            hi = round(min(99.0, efficacy + float(rng.uniform(1, 4))), 1)
+            grid.append([
+                str(vaccine), str(int(rng.integers(1, 4))),
+                str(efficacy), f"{lo}-{hi}",
+            ])
+            _record(ground_truth, "vaccines", str(vaccine))
+        caption = "Table: Vaccine efficacy against symptomatic infection"
+        return Table.from_grid(grid, caption=caption, header_rows=1)
+
+    def _demographics_table(self, rng: np.random.Generator) -> Table:
+        groups = ["18-29", "30-49", "50-64", "65-79", "80+"]
+        num_groups = int(rng.integers(3, len(groups) + 1))
+        grid = [["Age group", "N", "Percent"]]
+        remaining = 100.0
+        for i, group in enumerate(groups[:num_groups]):
+            if i == num_groups - 1:
+                percent = round(remaining, 1)
+            else:
+                percent = round(float(rng.uniform(5, remaining / 2)), 1)
+                remaining -= percent
+            grid.append([group, str(int(rng.integers(20, 2000))),
+                         str(percent)])
+        caption = "Table: Study population demographics"
+        return Table.from_grid(grid, caption=caption, header_rows=1)
+
+
+def _record(ground_truth: dict[str, Any], key: str, value: str) -> None:
+    if value not in ground_truth[key]:
+        ground_truth[key].append(value)
+
+
+def _table_html(table: Table) -> str:
+    """Render a table back to the raw HTML-fragment form CORD-19 ships."""
+    parts = ["<table>"]
+    if table.caption:
+        parts.append(f"<caption>{table.caption}</caption>")
+    for row in table.rows:
+        tag = "th" if row.is_metadata else "td"
+        cells = "".join(
+            f"<{tag}>{cell.text}</{tag}>" for cell in row.cells
+        )
+        parts.append(f"<tr>{cells}</tr>")
+    parts.append("</table>")
+    return "".join(parts)

@@ -1,0 +1,127 @@
+"""Load/save paper corpora as JSONL (one paper per line).
+
+The loader also accepts real CORD-19-style parses when a dump is present
+on disk; every record is validated against the schema on the way in.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.corpus.schema import validate_paper
+from repro.errors import PersistenceError, SchemaError
+
+
+def save_papers_jsonl(papers: list[dict[str, Any]],
+                      path: str | Path) -> int:
+    """Write papers as JSONL; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for paper in papers:
+            handle.write(json.dumps(paper, separators=(",", ":")) + "\n")
+    return len(papers)
+
+
+def iter_papers_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream validated papers from a JSONL file."""
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"corpus file not found: {path}")
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise PersistenceError(
+                    f"corrupt corpus {path}:{line_number}: {exc}"
+                ) from exc
+            try:
+                yield validate_paper(record)
+            except SchemaError as exc:
+                raise SchemaError(
+                    f"{path}:{line_number}: {exc}"
+                ) from exc
+
+
+def load_papers_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load every paper from a JSONL corpus file."""
+    return list(iter_papers_jsonl(path))
+
+
+def _parse_cord19_authors(raw: str) -> list[dict[str, str]]:
+    """CORD-19 metadata.csv author syntax: ``Last, First; Last, First``."""
+    authors = []
+    for chunk in raw.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "," in chunk:
+            last, _, first = chunk.partition(",")
+            authors.append({"first": first.strip(), "last": last.strip()})
+        else:
+            authors.append({"first": "", "last": chunk})
+    return authors
+
+
+def _normalize_cord19_date(raw: str) -> str | None:
+    """metadata.csv dates are YYYY-MM-DD or bare YYYY; normalize or drop."""
+    raw = (raw or "").strip()
+    if re.fullmatch(r"\d{4}-\d{2}-\d{2}", raw):
+        return raw
+    if re.fullmatch(r"\d{4}", raw):
+        return f"{raw}-01-01"
+    return None
+
+
+def load_cord19_metadata_csv(path: str | Path,
+                             limit: int | None = None
+                             ) -> list[dict[str, Any]]:
+    """Adapt a real CORD-19 ``metadata.csv`` into schema papers.
+
+    The real dump's metadata file carries ``cord_uid``, ``title``,
+    ``abstract``, ``authors``, ``publish_time``, and ``journal``; body
+    text and tables live in separate full-text parses, so those fields
+    load empty (the ingest pipeline tolerates table-less papers).  Rows
+    without an id, title, or usable date are skipped — exactly the rows
+    the real pipeline would quarantine.
+    """
+    import csv
+
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"metadata.csv not found: {path}")
+    papers: list[dict[str, Any]] = []
+    seen: set[str] = set()
+    with open(path, encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            paper_id = (row.get("cord_uid") or "").strip()
+            title = (row.get("title") or "").strip()
+            publish_time = _normalize_cord19_date(
+                row.get("publish_time", "")
+            )
+            if not paper_id or not title or publish_time is None:
+                continue
+            if paper_id in seen:
+                continue  # metadata.csv carries duplicate cord_uids
+            seen.add(paper_id)
+            papers.append(validate_paper({
+                "paper_id": paper_id,
+                "title": title,
+                "abstract": (row.get("abstract") or "").strip(),
+                "authors": _parse_cord19_authors(row.get("authors", "")),
+                "publish_time": publish_time,
+                "journal": (row.get("journal") or "").strip(),
+                "body_text": [],
+                "tables": [],
+                "figures": [],
+            }))
+            if limit is not None and len(papers) >= limit:
+                break
+    return papers

@@ -1,0 +1,36 @@
+"""Sharded JSON document store — the MongoDB substitute.
+
+COVIDKG.ORG stores its 450k parsed publications, trained models, and the
+knowledge graph itself in a sharded MongoDB cluster and expresses its
+search engines as aggregation pipelines (paper Section 2).  This package
+reproduces the parts of that stack the system actually exercises:
+
+* a MongoDB-style query language (:mod:`repro.docstore.matching`),
+* collections with CRUD + update operators (:mod:`repro.docstore.collection`),
+* secondary and inverted text indexes (:mod:`repro.docstore.indexes`),
+* hash/range sharding with a router (:mod:`repro.docstore.sharding`),
+* the aggregation pipeline engine with ``$match``, ``$project``,
+  ``$function`` and friends (:mod:`repro.docstore.aggregation`),
+* JSONL persistence and storage accounting (:mod:`repro.docstore.persistence`).
+"""
+
+from repro.docstore.aggregation import AggregationPipeline
+from repro.docstore.collection import Collection
+from repro.docstore.database import Client, Database
+from repro.docstore.documents import ObjectId, deep_get, deep_set
+from repro.docstore.matching import matches
+from repro.docstore.sharding import HashSharder, RangeSharder, ShardedCollection
+
+__all__ = [
+    "AggregationPipeline",
+    "Collection",
+    "Client",
+    "Database",
+    "ObjectId",
+    "deep_get",
+    "deep_set",
+    "matches",
+    "HashSharder",
+    "RangeSharder",
+    "ShardedCollection",
+]

@@ -1,0 +1,55 @@
+"""``$function`` registry: named Python callables inside pipelines.
+
+The paper's ranking logic is written as custom JavaScript ``$function``
+stages inside MongoDB aggregation queries (Section 2.1).  Here those
+functions are Python callables; the registry lets pipelines reference them
+by name so a pipeline document stays JSON-serializable, exactly as the
+paper's pipelines do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import AggregationError
+
+PipelineFunction = Callable[..., Any]
+
+
+class FunctionRegistry:
+    """Named server-side functions available to ``$function`` stages."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, PipelineFunction] = {}
+
+    def register(self, name: str,
+                 function: PipelineFunction | None = None
+                 ) -> PipelineFunction | Callable[[PipelineFunction],
+                                                  PipelineFunction]:
+        """Register ``function`` under ``name``; usable as a decorator."""
+        if function is None:
+            def decorator(func: PipelineFunction) -> PipelineFunction:
+                self._functions[name] = func
+                return func
+            return decorator
+        self._functions[name] = function
+        return function
+
+    def get(self, name: str) -> PipelineFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise AggregationError(
+                f"unknown $function {name!r}; registered: "
+                f"{sorted(self._functions)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+
+#: Registry shared by default across pipelines (callers may pass their own).
+default_registry = FunctionRegistry()

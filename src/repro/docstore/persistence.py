@@ -1,0 +1,160 @@
+"""JSONL persistence and storage accounting.
+
+Collections snapshot to JSON-lines files (one document per line) and can
+replay an append-only operation log on top of the last snapshot — the same
+checkpoint + oplog shape a real deployment would use.  Storage accounting
+(serialized bytes, per-shard distribution) backs the E11 experiment, which
+scales the paper's "450k publications ≈ 965 GB" claim down to the synthetic
+corpus and extrapolates bytes/document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.docstore.collection import Collection
+from repro.docstore.documents import ObjectId
+from repro.docstore.sharding import ShardedCollection
+from repro.errors import PersistenceError
+
+
+def _encode(document: dict[str, Any]) -> str:
+    def default(value: Any) -> Any:
+        if isinstance(value, ObjectId):
+            return str(value)
+        raise TypeError(f"not JSON serializable: {value!r}")
+
+    return json.dumps(document, default=default, separators=(",", ":"))
+
+
+def _decode(line: str) -> dict[str, Any]:
+    document = json.loads(line)
+    raw_id = document.get("_id")
+    if isinstance(raw_id, str) and raw_id.startswith("oid:"):
+        document["_id"] = ObjectId.parse(raw_id)
+    return document
+
+
+def save_collection(collection: Collection, path: str | Path) -> int:
+    """Snapshot every document to a JSONL file; returns bytes written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    written = 0
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        for document in collection.all_documents():
+            line = _encode(document)
+            handle.write(line + "\n")
+            written += len(line) + 1
+    os.replace(tmp_path, path)
+    return written
+
+
+def load_collection(path: str | Path,
+                    name: str | None = None) -> Collection:
+    """Rebuild a collection from a JSONL snapshot."""
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"snapshot not found: {path}")
+    collection = Collection(name or path.stem)
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                collection.insert_one(_decode(line))
+            except (json.JSONDecodeError, ValueError) as exc:
+                raise PersistenceError(
+                    f"corrupt snapshot {path}:{line_number}: {exc}"
+                ) from exc
+    return collection
+
+
+class OperationLog:
+    """Append-only log of write operations for replay on top of a snapshot."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, op: str, payload: dict[str, Any]) -> None:
+        record = {"op": op, **payload}
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(_encode(record) + "\n")
+
+    def replay(self, collection: Collection) -> int:
+        """Apply every logged operation; returns the number applied."""
+        if not self.path.exists():
+            return 0
+        applied = 0
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = _decode(line)
+                op = record.pop("op", None)
+                if op == "insert":
+                    collection.insert_one(record["document"])
+                elif op == "delete":
+                    collection.delete_many(record["query"])
+                elif op == "update":
+                    collection.update_many(record["query"], record["update"])
+                else:
+                    raise PersistenceError(f"unknown logged op {op!r}")
+                applied += 1
+        return applied
+
+    def truncate(self) -> None:
+        if self.path.exists():
+            self.path.unlink()
+
+
+@dataclass
+class StorageReport:
+    """Storage accounting for a (sharded) collection — the E11 statistic."""
+
+    num_documents: int
+    total_bytes: int
+    shard_bytes: list[int]
+
+    @property
+    def bytes_per_document(self) -> float:
+        if self.num_documents == 0:
+            return 0.0
+        return self.total_bytes / self.num_documents
+
+    @property
+    def shard_skew(self) -> float:
+        """max/mean shard size ratio; 1.0 is perfectly balanced."""
+        if not self.shard_bytes or sum(self.shard_bytes) == 0:
+            return 1.0
+        mean = sum(self.shard_bytes) / len(self.shard_bytes)
+        return max(self.shard_bytes) / mean
+
+    def extrapolate_bytes(self, num_documents: int) -> int:
+        """Projected storage at ``num_documents`` (e.g. the paper's 450k)."""
+        return int(self.bytes_per_document * num_documents)
+
+
+def storage_report(collection: Collection | ShardedCollection
+                   ) -> StorageReport:
+    """Compute a :class:`StorageReport` for any collection flavour."""
+    if isinstance(collection, ShardedCollection):
+        shard_bytes = collection.shard_storage_bytes()
+        return StorageReport(
+            num_documents=len(collection),
+            total_bytes=sum(shard_bytes),
+            shard_bytes=shard_bytes,
+        )
+    total = collection.storage_bytes()
+    return StorageReport(
+        num_documents=len(collection),
+        total_bytes=total,
+        shard_bytes=[total],
+    )

@@ -1,0 +1,219 @@
+"""Sharding: hash/range shard-key routing over multiple collections.
+
+The paper's back end is a *sharded* MongoDB cluster (Section 2, "Storage").
+:class:`ShardedCollection` reproduces the behaviour the system depends on:
+
+* deterministic shard-key routing for writes,
+* targeted reads when a query pins the shard key, scatter-gather otherwise,
+* per-shard storage accounting (the E11 experiment reports shard skew),
+* rebalancing when shards are added.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable, Iterator
+
+from repro.docstore.collection import Collection, Cursor
+from repro.docstore.documents import deep_get
+from repro.docstore.matching import equality_constraints
+from repro.errors import ShardingError
+
+_MISSING = object()
+
+
+class HashSharder:
+    """Route documents to shards by a stable hash of the shard-key value."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ShardingError("need at least one shard")
+        self.num_shards = num_shards
+
+    def shard_for(self, key_value: Any) -> int:
+        payload = json.dumps(key_value, default=str, sort_keys=True)
+        digest = hashlib.sha1(payload.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.num_shards
+
+    def with_shards(self, num_shards: int) -> "HashSharder":
+        return HashSharder(num_shards)
+
+
+class RangeSharder:
+    """Route documents to shards by ordered split points.
+
+    ``boundaries`` are the upper-exclusive split values; ``len(boundaries)+1``
+    shards result.  Values must be mutually comparable with the boundaries.
+    """
+
+    def __init__(self, boundaries: list[Any]) -> None:
+        if sorted(boundaries) != list(boundaries):
+            raise ShardingError("range boundaries must be sorted")
+        self.boundaries = list(boundaries)
+        self.num_shards = len(boundaries) + 1
+
+    def shard_for(self, key_value: Any) -> int:
+        for index, boundary in enumerate(self.boundaries):
+            try:
+                if key_value < boundary:
+                    return index
+            except TypeError as exc:
+                raise ShardingError(
+                    f"shard-key value {key_value!r} not comparable with "
+                    f"boundary {boundary!r}"
+                ) from exc
+        return len(self.boundaries)
+
+    def with_shards(self, num_shards: int) -> "RangeSharder":
+        raise ShardingError(
+            "range sharders cannot be resized automatically; supply new "
+            "boundaries instead"
+        )
+
+
+class ShardedCollection:
+    """A collection transparently partitioned over N shard collections."""
+
+    def __init__(self, name: str, shard_key: str,
+                 sharder: HashSharder | RangeSharder | None = None,
+                 num_shards: int = 4) -> None:
+        self.name = name
+        self.shard_key = shard_key
+        self.sharder = sharder or HashSharder(num_shards)
+        self.shards: list[Collection] = [
+            Collection(f"{name}.shard{i}")
+            for i in range(self.sharder.num_shards)
+        ]
+        self._index_specs: list[tuple[str, bool]] = []
+        self._text_index_paths: list[str] | None = None
+
+    # -- routing ----------------------------------------------------------
+
+    def _route(self, document: dict[str, Any]) -> Collection:
+        key_value = deep_get(document, self.shard_key, _MISSING)
+        if key_value is _MISSING:
+            raise ShardingError(
+                f"document missing shard key {self.shard_key!r}"
+            )
+        return self.shards[self.sharder.shard_for(key_value)]
+
+    def _target_shards(self, query: dict[str, Any]) -> list[Collection]:
+        """Targeted routing when the query pins the shard key, else all."""
+        constraints = equality_constraints(query)
+        if self.shard_key in constraints:
+            value = constraints[self.shard_key]
+            return [self.shards[self.sharder.shard_for(value)]]
+        return self.shards
+
+    # -- index management ----------------------------------------------------
+
+    def create_index(self, path: str, unique: bool = False) -> None:
+        """Create a hash index on every shard.
+
+        Uniqueness is only enforced per shard unless the index is on the
+        shard key itself — the same constraint real sharded MongoDB has.
+        """
+        if unique and path != self.shard_key and path != "_id":
+            raise ShardingError(
+                "unique indexes must include the shard key"
+            )
+        self._index_specs.append((path, unique))
+        for shard in self.shards:
+            shard.create_index(path, unique=unique)
+
+    def create_text_index(self, paths: Iterable[str]) -> None:
+        self._text_index_paths = list(paths)
+        for shard in self.shards:
+            shard.create_text_index(self._text_index_paths)
+
+    # -- writes -------------------------------------------------------------
+
+    def insert_one(self, document: dict[str, Any]) -> Any:
+        return self._route(document).insert_one(document)
+
+    def insert_many(self, documents: Iterable[dict[str, Any]]) -> list[Any]:
+        return [self.insert_one(document) for document in documents]
+
+    def delete_many(self, query: dict[str, Any]) -> int:
+        return sum(
+            shard.delete_many(query) for shard in self._target_shards(query)
+        )
+
+    def update_many(self, query: dict[str, Any],
+                    update: dict[str, Any]) -> int:
+        return sum(
+            shard.update_many(query, update)
+            for shard in self._target_shards(query)
+        )
+
+    # -- reads -----------------------------------------------------------
+
+    def find(self, query: dict[str, Any] | None = None,
+             projection: dict[str, int] | None = None) -> Cursor:
+        """Scatter-gather (or targeted) find across shards."""
+        query = query or {}
+        documents: list[dict[str, Any]] = []
+        for shard in self._target_shards(query):
+            documents.extend(shard.find(query).to_list())
+        cursor = Cursor(documents)
+        if projection is not None:
+            cursor.project(projection)
+        return cursor
+
+    def find_one(self, query: dict[str, Any] | None = None
+                 ) -> dict[str, Any] | None:
+        for shard in self._target_shards(query or {}):
+            result = shard.find_one(query)
+            if result is not None:
+                return result
+        return None
+
+    def count(self, query: dict[str, Any] | None = None) -> int:
+        if not query:
+            return sum(len(shard) for shard in self.shards)
+        return sum(
+            shard.count(query) for shard in self._target_shards(query)
+        )
+
+    def all_documents(self) -> Iterator[dict[str, Any]]:
+        for shard in self.shards:
+            yield from shard.all_documents()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    # -- operations ------------------------------------------------------------
+
+    def shard_sizes(self) -> list[int]:
+        """Document count per shard — the E11 skew statistic."""
+        return [len(shard) for shard in self.shards]
+
+    def shard_storage_bytes(self) -> list[int]:
+        """Serialized bytes per shard."""
+        return [shard.storage_bytes() for shard in self.shards]
+
+    def storage_bytes(self) -> int:
+        return sum(self.shard_storage_bytes())
+
+    def rebalance(self, num_shards: int) -> None:
+        """Re-shard all documents onto ``num_shards`` shards."""
+        new_sharder = self.sharder.with_shards(num_shards)
+        documents = list(self.all_documents())
+        self.sharder = new_sharder
+        self.shards = [
+            Collection(f"{self.name}.shard{i}") for i in range(num_shards)
+        ]
+        for path, unique in self._index_specs:
+            for shard in self.shards:
+                shard.create_index(path, unique=unique)
+        if self._text_index_paths:
+            for shard in self.shards:
+                shard.create_text_index(self._text_index_paths)
+        for document in documents:
+            self._route(document).insert_one(document)
+
+    @property
+    def total_scan_count(self) -> int:
+        """Aggregate scan counter across shards (for experiments)."""
+        return sum(shard.scan_count for shard in self.shards)

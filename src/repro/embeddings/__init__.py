@@ -1,0 +1,19 @@
+"""Embeddings: Word2Vec (skip-gram + negative sampling) and tabular embeddings.
+
+The BiGRU ensemble (paper Figure 3) consumes two parallel embedding
+streams — term-level and cell-level — from Word2Vec models "pre-trained on
+WDC and CORD-19 and then fine-tuned with end-to-end training on the target
+corpus".  The KG fusion module (Section 4.2) uses the same vectors for
+embedding-driven matching of unseen entities.
+"""
+
+from repro.embeddings.similarity import cosine_similarity, nearest_neighbors
+from repro.embeddings.tabular import TabularEmbedder
+from repro.embeddings.word2vec import Word2Vec
+
+__all__ = [
+    "cosine_similarity",
+    "nearest_neighbors",
+    "TabularEmbedder",
+    "Word2Vec",
+]

@@ -1,0 +1,44 @@
+"""Vector similarity utilities shared by search ranking and KG matching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity in [-1, 1]; 0.0 when either vector is zero."""
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    if left.shape != right.shape:
+        raise ModelError(
+            f"vector shapes disagree: {left.shape} vs {right.shape}"
+        )
+    left_norm = float(np.linalg.norm(left))
+    right_norm = float(np.linalg.norm(right))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return float(left @ right / (left_norm * right_norm))
+
+
+def nearest_neighbors(query: np.ndarray, candidates: np.ndarray,
+                      top_k: int = 5) -> list[tuple[int, float]]:
+    """Indices and cosine similarities of the nearest candidate rows."""
+    query = np.asarray(query, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    if candidates.ndim != 2 or candidates.shape[1] != query.shape[0]:
+        raise ModelError("candidates must be (n, dim) matching the query")
+    query_norm = float(np.linalg.norm(query))
+    if query_norm == 0.0:
+        return []
+    norms = np.linalg.norm(candidates, axis=1)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    similarities = (candidates @ query) / (safe * query_norm)
+    similarities = np.where(norms == 0.0, -np.inf, similarities)
+    order = np.argsort(-similarities)[:top_k]
+    return [
+        (int(i), float(similarities[int(i)]))
+        for i in order
+        if np.isfinite(similarities[int(i)])
+    ]

@@ -1,0 +1,251 @@
+"""Word2Vec: skip-gram with negative sampling, from scratch on numpy.
+
+Mikolov et al. (2013) — the paper's ref [65].  The implementation trains
+input ("in") and output ("out") vector tables with SGD over (center,
+context) pairs sampled from a sliding window, drawing negatives from the
+unigram distribution raised to the 3/4 power.
+
+``fit`` pre-trains on one corpus; calling ``fit`` again with
+``fine_tune=True`` continues from the current vectors on a new corpus —
+the pre-train-on-WDC+CORD-19 / fine-tune-on-target recipe of Figure 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+from repro.text.tokenizer import tokenize
+from repro.text.vocabulary import UNKNOWN_INDEX, Vocabulary
+
+
+class Word2Vec:
+    """Skip-gram negative-sampling embeddings over a fixed vocabulary."""
+
+    def __init__(self, vocabulary: Vocabulary, dim: int = 50,
+                 window: int = 3, negatives: int = 5,
+                 learning_rate: float = 0.025, seed: int = 0,
+                 subsample: float | None = None) -> None:
+        if dim < 1:
+            raise ModelError("dim must be positive")
+        if window < 1:
+            raise ModelError("window must be positive")
+        if subsample is not None and subsample <= 0:
+            raise ModelError("subsample threshold must be positive")
+        self.vocabulary = vocabulary
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.subsample = subsample
+        rng = np.random.default_rng(seed)
+        size = len(vocabulary)
+        self.in_vectors = rng.uniform(-0.5, 0.5, (size, dim)) / dim
+        self.out_vectors = np.zeros((size, dim))
+        self._fitted = False
+
+    # -- training ---------------------------------------------------------
+
+    def _encode_sentences(self, sentences: list[str]) -> list[list[int]]:
+        encoded = []
+        for sentence in sentences:
+            indices = [
+                self.vocabulary.index_of(token)
+                for token in tokenize(sentence)
+            ]
+            indices = [i for i in indices if i != UNKNOWN_INDEX]
+            if len(indices) >= 2:
+                encoded.append(indices)
+        return encoded
+
+    def _negative_table(self) -> np.ndarray:
+        counts = np.array([
+            max(self.vocabulary.count_of(self.vocabulary.term_at(i)), 1)
+            for i in range(len(self.vocabulary))
+        ], dtype=np.float64)
+        counts[UNKNOWN_INDEX] = 0.0
+        weights = counts ** 0.75
+        total = weights.sum()
+        if total == 0:
+            raise ModelError("vocabulary has no counted terms")
+        return weights / total
+
+    def fit(self, sentences: list[str], epochs: int = 3,
+            fine_tune: bool = False) -> "Word2Vec":
+        """Train (or continue training when ``fine_tune=True``)."""
+        if self._fitted and not fine_tune:
+            raise ModelError(
+                "model already trained; pass fine_tune=True to continue"
+            )
+        encoded = self._encode_sentences(sentences)
+        if not encoded:
+            raise ModelError("no trainable sentences (all tokens unknown?)")
+        rng = np.random.default_rng(self.seed + (1 if fine_tune else 0))
+        negative_probs = self._negative_table()
+        keep_probs = self._subsample_table(encoded)
+        lr = self.learning_rate * (0.3 if fine_tune else 1.0)
+
+        for _ in range(epochs):
+            for sentence in encoded:
+                if keep_probs is not None:
+                    sentence = [
+                        index for index in sentence
+                        if rng.random() < keep_probs[index]
+                    ]
+                    if len(sentence) < 2:
+                        continue
+                length = len(sentence)
+                for position, center in enumerate(sentence):
+                    span = int(rng.integers(1, self.window + 1))
+                    lo = max(0, position - span)
+                    hi = min(length, position + span + 1)
+                    for context_pos in range(lo, hi):
+                        if context_pos == position:
+                            continue
+                        context = sentence[context_pos]
+                        self._train_pair(
+                            center, context, negative_probs, rng, lr
+                        )
+        self._fitted = True
+        return self
+
+    def _subsample_table(self, encoded: list[list[int]]
+                         ) -> np.ndarray | None:
+        """Mikolov frequent-word subsampling keep-probabilities.
+
+        ``p_keep(w) = sqrt(t / f(w))`` capped at 1, where ``f`` is the
+        word's corpus frequency and ``t`` the ``subsample`` threshold —
+        very frequent words are randomly dropped so rare words get more
+        gradient signal.
+        """
+        if self.subsample is None:
+            return None
+        counts = np.zeros(len(self.vocabulary))
+        for sentence in encoded:
+            for index in sentence:
+                counts[index] += 1
+        total = counts.sum()
+        if total == 0:
+            return None
+        frequencies = counts / total
+        with np.errstate(divide="ignore"):
+            keep = np.sqrt(self.subsample / np.maximum(frequencies, 1e-12))
+        return np.minimum(keep, 1.0)
+
+    def _train_pair(self, center: int, context: int,
+                    negative_probs: np.ndarray,
+                    rng: np.random.Generator, lr: float) -> None:
+        negatives = rng.choice(
+            len(negative_probs), size=self.negatives, p=negative_probs
+        )
+        targets = np.concatenate(([context], negatives))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+
+        center_vec = self.in_vectors[center]
+        out_vecs = self.out_vectors[targets]
+        scores = out_vecs @ center_vec
+        predictions = 1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30)))
+        errors = (predictions - labels)[:, None]
+
+        grad_center = (errors * out_vecs).sum(axis=0)
+        self.out_vectors[targets] -= lr * errors * center_vec[None, :]
+        self.in_vectors[center] -= lr * grad_center
+
+    # -- lookups -------------------------------------------------------------
+
+    def vector(self, term: str) -> np.ndarray:
+        """The (input) embedding of ``term``; UNK vector when unseen."""
+        if not self._fitted:
+            raise NotFittedError("Word2Vec.fit has not run")
+        return self.in_vectors[self.vocabulary.index_of(term)]
+
+    def vectors(self, terms: list[str]) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("Word2Vec.fit has not run")
+        indices = [self.vocabulary.index_of(term) for term in terms]
+        return self.in_vectors[indices]
+
+    def text_vector(self, text: str) -> np.ndarray:
+        """Mean vector of the in-vocabulary tokens of ``text``."""
+        if not self._fitted:
+            raise NotFittedError("Word2Vec.fit has not run")
+        indices = [
+            self.vocabulary.index_of(token) for token in tokenize(text)
+        ]
+        indices = [i for i in indices if i != UNKNOWN_INDEX]
+        if not indices:
+            return np.zeros(self.dim)
+        return self.in_vectors[indices].mean(axis=0)
+
+    def most_similar(self, term: str, top_k: int = 5
+                     ) -> list[tuple[str, float]]:
+        """Nearest vocabulary terms by cosine similarity."""
+        if not self._fitted:
+            raise NotFittedError("Word2Vec.fit has not run")
+        query_index = self.vocabulary.index_of(term)
+        query = self.in_vectors[query_index]
+        norms = np.linalg.norm(self.in_vectors, axis=1) + 1e-12
+        query_norm = np.linalg.norm(query) + 1e-12
+        similarities = (self.in_vectors @ query) / (norms * query_norm)
+        similarities[query_index] = -np.inf
+        similarities[UNKNOWN_INDEX] = -np.inf
+        order = np.argsort(-similarities)[:top_k]
+        return [
+            (self.vocabulary.term_at(int(i)), float(similarities[int(i)]))
+            for i in order
+        ]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full (vocab_size, dim) input-vector table."""
+        return self.in_vectors
+
+    # -- serialization ----------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist trained vectors + hyperparameters to an ``.npz`` file.
+
+        The vocabulary is saved alongside (terms + counts) so ``load``
+        restores a self-contained model — the "released, pre-trained
+        ... Embeddings" of the paper's API (№11/№13).
+        """
+        import json as _json
+        from pathlib import Path
+
+        if not self._fitted:
+            raise NotFittedError("cannot save an untrained Word2Vec")
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        config = {
+            "dim": self.dim, "window": self.window,
+            "negatives": self.negatives,
+            "learning_rate": self.learning_rate, "seed": self.seed,
+            "subsample": self.subsample,
+            "vocabulary": self.vocabulary.to_json(),
+        }
+        np.savez_compressed(
+            path,
+            in_vectors=self.in_vectors,
+            out_vectors=self.out_vectors,
+            config=np.frombuffer(
+                _json.dumps(config).encode("utf-8"), dtype=np.uint8
+            ),
+        )
+
+    @classmethod
+    def load(cls, path) -> "Word2Vec":
+        """Restore a model saved with :meth:`save`."""
+        import json as _json
+
+        from repro.text.vocabulary import Vocabulary
+
+        with np.load(path) as archive:
+            config = _json.loads(bytes(archive["config"]).decode("utf-8"))
+            vocabulary = Vocabulary.from_json(config.pop("vocabulary"))
+            model = cls(vocabulary, **config)
+            model.in_vectors = archive["in_vectors"].copy()
+            model.out_vectors = archive["out_vectors"].copy()
+        model._fitted = True
+        return model

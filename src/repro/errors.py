@@ -1,0 +1,68 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at the API boundary while still distinguishing failure
+modes inside the system.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DocumentError(ReproError):
+    """A document is malformed or violates collection constraints."""
+
+
+class DuplicateKeyError(DocumentError):
+    """An insert would violate a unique index (e.g. a duplicate ``_id``)."""
+
+
+class QueryError(ReproError):
+    """A query/filter document is malformed or uses an unknown operator."""
+
+
+class AggregationError(ReproError):
+    """An aggregation pipeline is malformed or a stage failed to evaluate."""
+
+
+class IndexError_(ReproError):
+    """An index definition is invalid or an indexed lookup failed."""
+
+
+class ShardingError(ReproError):
+    """Shard configuration or routing failed."""
+
+
+class PersistenceError(ReproError):
+    """Snapshot/append-log I/O failed or an on-disk image is corrupt."""
+
+
+class ParseError(ReproError):
+    """Raw input (HTML table fragment, paper JSON, query string) is invalid."""
+
+
+class SchemaError(ReproError):
+    """A corpus document does not conform to the CORD-19-style schema."""
+
+
+class ModelError(ReproError):
+    """A machine-learning / deep-learning model was misconfigured or misused."""
+
+
+class NotFittedError(ModelError):
+    """A model method requiring training was called before ``fit``."""
+
+
+class GraphError(ReproError):
+    """A knowledge-graph operation is invalid (unknown node, cycle, ...)."""
+
+
+class FusionError(GraphError):
+    """A subtree could not be fused into the knowledge graph."""
+
+
+class RegistryError(ReproError):
+    """Lookup in the pre-trained model/embedding registry failed."""

@@ -1,0 +1,51 @@
+"""The COVID-19 Knowledge Graph — the paper's core contribution (Section 4).
+
+* :mod:`repro.kg.node` / :mod:`repro.kg.graph` — the hierarchical KG data
+  structure with provenance links to source papers,
+* :mod:`repro.kg.ontology` — the expert-seeded initial layout (№1/№2 in
+  Figure 1),
+* :mod:`repro.kg.matching` — normalized NLP term matching amended by
+  embedding-driven matching (Section 4.2),
+* :mod:`repro.kg.fusion` — the enrichment-and-fusion rules: unsupervised
+  leaf merging, multi-layer subtrees routed to expert review, categories
+  kept separate,
+* :mod:`repro.kg.review` — the expert review queue and the fusion
+  corrector that learns from expert decisions (№14 in Figure 1),
+* :mod:`repro.kg.enrichment` — topical clustering and entity extraction
+  feeding the fusion pipeline (№5/№6),
+* :mod:`repro.kg.search` — interactive KG search with path highlighting,
+* :mod:`repro.kg.metaprofile` — multi-layered 3D Meta-Profiles (Figure 6).
+"""
+
+from repro.kg.bias import BiasFlag, BiasInterrogator, BiasReport
+from repro.kg.enrichment import EnrichmentPipeline
+from repro.kg.freshness import FreshnessReport, audit_freshness
+from repro.kg.fusion import ExtractedSubtree, FusionEngine, FusionResult
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.matching import NodeMatcher
+from repro.kg.metaprofile import MetaProfile, build_side_effect_profile
+from repro.kg.node import KGNode
+from repro.kg.ontology import seed_covid_graph
+from repro.kg.review import ExpertReviewQueue, FusionCorrector
+from repro.kg.search import KGSearchEngine
+
+__all__ = [
+    "BiasFlag",
+    "BiasInterrogator",
+    "BiasReport",
+    "EnrichmentPipeline",
+    "FreshnessReport",
+    "audit_freshness",
+    "ExtractedSubtree",
+    "FusionEngine",
+    "FusionResult",
+    "KnowledgeGraph",
+    "NodeMatcher",
+    "MetaProfile",
+    "build_side_effect_profile",
+    "KGNode",
+    "seed_covid_graph",
+    "ExpertReviewQueue",
+    "FusionCorrector",
+    "KGSearchEngine",
+]

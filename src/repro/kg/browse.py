@@ -1,0 +1,126 @@
+"""Interactive KG browsing session (№9/№10 in Figure 1).
+
+The web front end lets users "browse the Knowledge Graph by clicking
+nodes and using the interactive features" and, from any node, "click the
+papers linked off these nodes to read about the topic of preference in
+more detail".  :class:`BrowserSession` is that interaction model as an
+API: a cursor with breadcrumbs, child navigation, search-jumps, history,
+and bookmarks — the exact state a UI keeps per user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import GraphError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.node import KGNode
+from repro.kg.search import KGSearchEngine
+
+
+@dataclass
+class BrowseView:
+    """What the UI renders for the current node."""
+
+    node: dict[str, Any]
+    breadcrumbs: list[str]
+    children: list[dict[str, Any]]
+    papers: list[str]
+    depth: int
+
+    def render(self) -> str:
+        """A plain-text rendering (the CLI's node screen)."""
+        lines = [" > ".join(self.breadcrumbs)]
+        if self.papers:
+            lines.append(f"papers: {len(self.papers)}")
+        for child in self.children:
+            marker = "+" if child["children"] else "-"
+            lines.append(f"  {marker} {child['label']}")
+        return "\n".join(lines)
+
+
+class BrowserSession:
+    """A stateful cursor over the knowledge graph."""
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self.graph = graph
+        self._search = KGSearchEngine(graph)
+        self._current = graph.root_id
+        self._history: list[str] = []
+        self.bookmarks: dict[str, str] = {}
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def current(self) -> KGNode:
+        return self.graph.node(self._current)
+
+    def view(self) -> BrowseView:
+        """The render payload for the current node."""
+        node = self.current
+        path = self.graph.path_to(node.node_id)
+        return BrowseView(
+            node=node.to_json(),
+            breadcrumbs=[item.label for item in path],
+            children=[
+                child.to_json()
+                for child in self.graph.children(node.node_id)
+            ],
+            papers=self.graph.papers_for(node.node_id),
+            depth=len(path) - 1,
+        )
+
+    # -- navigation (the "clicks") ---------------------------------------
+
+    def _move_to(self, node_id: str) -> BrowseView:
+        if node_id not in self.graph:
+            raise GraphError(f"unknown node {node_id!r}")
+        if node_id != self._current:
+            self._history.append(self._current)
+            self._current = node_id
+        return self.view()
+
+    def enter(self, child_label: str) -> BrowseView:
+        """Click a child of the current node (matched by label)."""
+        for child in self.graph.children(self._current):
+            if child.label.lower() == child_label.lower():
+                return self._move_to(child.node_id)
+        raise GraphError(
+            f"current node has no child labeled {child_label!r}"
+        )
+
+    def up(self) -> BrowseView:
+        """Click the breadcrumb one level up."""
+        parent = self.graph.parent(self._current)
+        if parent is None:
+            raise GraphError("already at the root")
+        return self._move_to(parent.node_id)
+
+    def back(self) -> BrowseView:
+        """The browser back button."""
+        if not self._history:
+            raise GraphError("no navigation history")
+        previous = self._history.pop()
+        self._current = previous
+        return self.view()
+
+    def jump(self, query: str) -> BrowseView:
+        """Search the graph and jump to the best hit."""
+        hits = self._search.search(query, top_k=1)
+        if not hits:
+            raise GraphError(f"no node matches {query!r}")
+        return self._move_to(hits[0].node.node_id)
+
+    def home(self) -> BrowseView:
+        return self._move_to(self.graph.root_id)
+
+    # -- bookmarks -------------------------------------------------------
+
+    def bookmark(self, name: str) -> None:
+        self.bookmarks[name] = self._current
+
+    def goto_bookmark(self, name: str) -> BrowseView:
+        if name not in self.bookmarks:
+            raise GraphError(f"no bookmark named {name!r}")
+        return self._move_to(self.bookmarks[name])

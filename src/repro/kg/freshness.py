@@ -1,0 +1,163 @@
+"""Knowledge-graph freshness auditing.
+
+The paper's core motivation: existing KGs "are getting stale very
+quickly, lack any latest COVID-19 medical findings — most importantly
+lack any scalable mechanism to keep them up to date", while COVIDKG is
+"automatically updated from the vetted medical sources", ensuring
+"reliability, freshness, and quality".
+
+This module makes freshness *measurable*: given the graph and the
+publication dates of its provenance papers, it reports per-node and
+per-category staleness (days since the newest supporting evidence) and
+flags nodes older than a window — the dashboard a curator watches to see
+the non-stop update loop doing its job.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import GraphError
+from repro.kg.graph import KnowledgeGraph
+
+
+def _parse_date(text: str) -> datetime.date:
+    try:
+        return datetime.date.fromisoformat(str(text))
+    except ValueError as exc:
+        raise GraphError(f"bad publish_time {text!r}") from exc
+
+
+def paper_dates(papers: list[dict[str, Any]]) -> dict[str, datetime.date]:
+    """paper_id -> publish date, from CORD-19-style paper documents."""
+    return {
+        paper["paper_id"]: _parse_date(paper["publish_time"])
+        for paper in papers
+        if paper.get("paper_id") and paper.get("publish_time")
+    }
+
+
+@dataclass
+class NodeFreshness:
+    """Freshness of one evidence-backed node."""
+
+    node_id: str
+    label: str
+    path: str
+    newest_evidence: datetime.date
+    age_days: int
+    num_papers: int
+
+    @property
+    def is_stale(self) -> bool:  # relative to the report's window
+        return self.age_days > self._window_days
+
+    _window_days: int = 0      # injected by the report builder
+    _category: str | None = None
+
+
+@dataclass
+class FreshnessReport:
+    """Graph-wide freshness summary."""
+
+    as_of: datetime.date
+    window_days: int
+    nodes: list[NodeFreshness] = field(default_factory=list)
+    unevidenced_nodes: int = 0
+
+    @property
+    def stale_nodes(self) -> list[NodeFreshness]:
+        return [node for node in self.nodes if node.is_stale]
+
+    @property
+    def median_age_days(self) -> int:
+        if not self.nodes:
+            return 0
+        ages = sorted(node.age_days for node in self.nodes)
+        return ages[len(ages) // 2]
+
+    def stale_fraction(self) -> float:
+        if not self.nodes:
+            return 0.0
+        return len(self.stale_nodes) / len(self.nodes)
+
+    def by_category(self) -> dict[str, dict[str, Any]]:
+        """Per-category newest evidence and stale counts."""
+        categories: dict[str, dict[str, Any]] = {}
+        for node, category in self._categorized():
+            entry = categories.setdefault(category, {
+                "nodes": 0, "stale": 0, "newest": None,
+            })
+            entry["nodes"] += 1
+            if node.is_stale:
+                entry["stale"] += 1
+            if entry["newest"] is None or \
+                    node.newest_evidence > entry["newest"]:
+                entry["newest"] = node.newest_evidence
+        return categories
+
+    def _categorized(self):
+        for node in self.nodes:
+            yield node, (node._category or "uncategorized")
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "as_of": self.as_of.isoformat(),
+            "evidenced_nodes": len(self.nodes),
+            "unevidenced_nodes": self.unevidenced_nodes,
+            "stale_nodes": len(self.stale_nodes),
+            "stale_fraction": round(self.stale_fraction(), 3),
+            "median_age_days": self.median_age_days,
+        }
+
+
+def audit_freshness(graph: KnowledgeGraph,
+                    papers: list[dict[str, Any]],
+                    as_of: datetime.date | str | None = None,
+                    window_days: int = 90) -> FreshnessReport:
+    """Audit every evidence-backed node of ``graph``.
+
+    ``as_of`` defaults to the newest publication date in ``papers`` (the
+    "now" of the corpus).  Nodes whose newest supporting paper is more
+    than ``window_days`` old are stale; nodes with no provenance at all
+    (seed structure) are counted separately, not flagged.
+    """
+    dates = paper_dates(papers)
+    if not dates:
+        raise GraphError("no dated papers to audit against")
+    if as_of is None:
+        as_of_date = max(dates.values())
+    elif isinstance(as_of, str):
+        as_of_date = _parse_date(as_of)
+    else:
+        as_of_date = as_of
+
+    report = FreshnessReport(as_of=as_of_date, window_days=window_days)
+    for node in graph.walk():
+        if node.node_id == graph.root_id:
+            continue
+        supporting = [
+            dates[paper_id]
+            for paper_id in graph.papers_for(node.node_id)
+            if paper_id in dates
+        ]
+        if not supporting:
+            report.unevidenced_nodes += 1
+            continue
+        newest = max(supporting)
+        entry = NodeFreshness(
+            node_id=node.node_id,
+            label=node.label,
+            path=" > ".join(
+                n.label for n in graph.path_to(node.node_id)
+            ),
+            newest_evidence=newest,
+            age_days=(as_of_date - newest).days,
+            num_papers=len(supporting),
+        )
+        entry._window_days = window_days
+        entry._category = node.category
+        report.nodes.append(entry)
+    return report

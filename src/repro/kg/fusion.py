@@ -1,0 +1,345 @@
+"""Subtree fusion into the knowledge graph (paper Section 4.2).
+
+The rules, as the paper states them:
+
+* The extracted subtree's **root is matched** to KG node(s) by normalized
+  NLP term matching, amended by embedding-driven matching.
+* **Leaf fusion is unsupervised** when the root matched with high
+  confidence: leaves that term-match an existing child merge (gaining
+  provenance); genuinely new leaves are added as children.
+* **Multi-layer subtrees** (several layers of hierarchy) and **insertion
+  of new non-leaf nodes** go to the expert review queue (№14 in Figure 1).
+* **Categories are kept separate**: "Children side-effects -> Rash" stays
+  its own node even when "Rash" already exists under general side-effects,
+  because the categorizations must coexist unmerged.
+* **Unseen entities** (the NovoVac case) are placed by embedding
+  similarity: the new leaf's vector matches existing siblings, whose
+  parent adopts it.
+
+Over time the :class:`~repro.kg.review.FusionCorrector` learns expert
+decisions, so review-bound fusions become "minimally supervised".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import FusionError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.matching import NodeMatcher
+from repro.kg.node import normalize_label
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kg.review import ExpertReviewQueue
+
+#: Minimum root-match confidence for unsupervised leaf fusion.
+UNSUPERVISED_CONFIDENCE = 0.9
+
+
+@dataclass
+class ExtractedSubtree:
+    """A hierarchical extraction destined for the KG."""
+
+    label: str
+    children: list["ExtractedSubtree"] = field(default_factory=list)
+    category: str | None = None
+    provenance: str | None = None
+
+    def depth(self) -> int:
+        """0 for a bare node, 1 for root+leaves, 2+ for multi-layer."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def num_nodes(self) -> int:
+        return 1 + sum(child.num_nodes() for child in self.children)
+
+    def to_json(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"label": self.label}
+        if self.children:
+            data["children"] = [child.to_json() for child in self.children]
+        if self.category:
+            data["category"] = self.category
+        if self.provenance:
+            data["provenance"] = self.provenance
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ExtractedSubtree":
+        return cls(
+            label=data["label"],
+            children=[
+                cls.from_json(child) for child in data.get("children", [])
+            ],
+            category=data.get("category"),
+            provenance=data.get("provenance"),
+        )
+
+
+@dataclass
+class FusionResult:
+    """What happened to one extracted subtree."""
+
+    action: str  # "merged" | "queued" | "auto_approved" | "unmatched"
+    target_node_id: str | None = None
+    merged_leaves: list[str] = field(default_factory=list)
+    added_leaves: list[str] = field(default_factory=list)
+    confidence: float = 0.0
+    match_method: str = "none"
+    review_id: int | None = None
+    #: Review ids of proposed insert-parent operations (the paper's "the
+    #: node Vaccine then can be added to the KG on the top of the NovoVac
+    #: node") — new structure, so each goes to the expert.
+    intermediate_review_ids: list[int] = field(default_factory=list)
+
+
+class FusionEngine:
+    """Fuse extracted subtrees into a knowledge graph."""
+
+    def __init__(self, graph: KnowledgeGraph, matcher: NodeMatcher,
+                 review_queue: "ExpertReviewQueue | None" = None) -> None:
+        self.graph = graph
+        self.matcher = matcher
+        self.review_queue = review_queue
+        self.results: list[FusionResult] = []
+
+    # -- the fusion decision procedure ---------------------------------------
+
+    def fuse(self, subtree: ExtractedSubtree) -> FusionResult:
+        """Apply the Section 4.2 rules to one subtree."""
+        result = self._fuse(subtree)
+        self.results.append(result)
+        return result
+
+    def _fuse(self, subtree: ExtractedSubtree) -> FusionResult:
+        root_match = self.matcher.match(subtree.label, subtree.category)
+
+        if subtree.depth() >= 2:
+            # Multi-layer subtrees always need the expert.
+            return self._route_to_review(
+                subtree,
+                proposed_parent=(
+                    root_match.node.node_id if root_match.matched else None
+                ),
+                match_method=root_match.method,
+                confidence=root_match.confidence,
+                reason="multi-layer subtree",
+            )
+
+        if root_match.matched and root_match.method == "term" and \
+                root_match.confidence >= UNSUPERVISED_CONFIDENCE:
+            return self._merge_leaves(subtree, root_match.node.node_id,
+                                      root_match.confidence, "term")
+
+        # Root not term-matched.  Try the NovoVac path first: place leaves
+        # by their own embeddings next to their most similar siblings.
+        placed = self._place_unseen_leaves(subtree)
+        if placed is not None:
+            return placed
+
+        if root_match.matched and root_match.method == "embedding":
+            # The root itself is a new term near an existing node: treat
+            # the matched node as the anchor and queue, since this inserts
+            # new structure.
+            return self._route_to_review(
+                subtree,
+                proposed_parent=root_match.node.node_id,
+                match_method="embedding",
+                confidence=root_match.confidence,
+                reason="embedding-matched root",
+            )
+
+        return self._route_to_review(
+            subtree, proposed_parent=None, match_method="none",
+            confidence=0.0, reason="unmatched root",
+        )
+
+    def _merge_leaves(self, subtree: ExtractedSubtree, target_id: str,
+                      confidence: float, method: str) -> FusionResult:
+        """Unsupervised leaf fusion under a confidently matched node."""
+        target = self.graph.node(target_id)
+        existing = {
+            child.normalized: child for child in self.graph.children(target_id)
+        }
+        merged, added = [], []
+        for leaf in subtree.children:
+            normalized = normalize_label(leaf.label)
+            provenance = leaf.provenance or subtree.provenance
+            if normalized in existing:
+                node = existing[normalized]
+                if provenance:
+                    node.add_provenance(provenance)
+                merged.append(leaf.label)
+            else:
+                node_id = self.graph.add_node(
+                    leaf.label, target_id,
+                    category=leaf.category or subtree.category,
+                    provenance=provenance,
+                )
+                existing[normalized] = self.graph.node(node_id)
+                added.append(leaf.label)
+        if subtree.provenance:
+            target.add_provenance(subtree.provenance)
+        self.matcher.invalidate_cache()
+        return FusionResult(
+            action="merged", target_node_id=target_id,
+            merged_leaves=merged, added_leaves=added,
+            confidence=confidence, match_method=method,
+        )
+
+    def _place_unseen_leaves(self,
+                             subtree: ExtractedSubtree) -> FusionResult | None:
+        """The NovoVac rule: infer each leaf's parent from its embedding.
+
+        When the extracted root label differs from the inferred parent's
+        label, the paper additionally allows the root to be "added to the
+        KG on the top of" the new leaf; inserting a node is new structure,
+        so each such proposal is routed to the expert review queue rather
+        than applied blindly.
+        """
+        if not subtree.children:
+            return None
+        placements: list[tuple[ExtractedSubtree, str]] = []
+        for leaf in subtree.children:
+            parent = self.matcher.sibling_parent(
+                leaf.label, leaf.category or subtree.category
+            )
+            if parent is None:
+                return None
+            placements.append((leaf, parent.node_id))
+        merged, added = [], []
+        intermediate_reviews: list[int] = []
+        last_parent: str | None = None
+        for leaf, parent_id in placements:
+            provenance = leaf.provenance or subtree.provenance
+            existing = {
+                child.normalized
+                for child in self.graph.children(parent_id)
+            }
+            if normalize_label(leaf.label) in existing:
+                merged.append(leaf.label)
+            else:
+                leaf_id = self.graph.add_node(
+                    leaf.label, parent_id,
+                    category=leaf.category or subtree.category,
+                    provenance=provenance,
+                )
+                added.append(leaf.label)
+                parent_node = self.graph.node(parent_id)
+                if self.review_queue is not None and \
+                        parent_node.normalized != normalize_label(
+                            subtree.label):
+                    intermediate_reviews.append(self.review_queue.submit(
+                        ExtractedSubtree(
+                            subtree.label, category=subtree.category,
+                            provenance=provenance,
+                        ),
+                        proposed_parent_id=leaf_id,
+                        match_method="embedding",
+                        confidence=0.5,
+                        reason="insert extracted root above placed leaf",
+                        operation="insert_parent",
+                    ))
+            last_parent = parent_id
+        self.matcher.invalidate_cache()
+        return FusionResult(
+            action="merged", target_node_id=last_parent,
+            merged_leaves=merged, added_leaves=added,
+            confidence=0.5, match_method="embedding",
+            intermediate_review_ids=intermediate_reviews,
+        )
+
+    def apply_insert_parent(self, child_id: str,
+                            subtree: ExtractedSubtree) -> str:
+        """Insert ``subtree``'s root between ``child_id`` and its parent."""
+        if child_id not in self.graph:
+            raise FusionError(f"unknown child {child_id!r}")
+        new_id = self.graph.insert_parent(
+            subtree.label, child_id, category=subtree.category
+        )
+        if subtree.provenance:
+            self.graph.node(new_id).add_provenance(subtree.provenance)
+        self.matcher.invalidate_cache()
+        return new_id
+
+    def _route_to_review(self, subtree: ExtractedSubtree,
+                         proposed_parent: str | None, match_method: str,
+                         confidence: float, reason: str) -> FusionResult:
+        """Queue for the expert — unless the corrector has learned this case."""
+        if self.review_queue is None:
+            return FusionResult(
+                action="unmatched", confidence=confidence,
+                match_method=match_method,
+            )
+        learned = self.review_queue.corrector.predict(
+            subtree, match_method
+        )
+        if learned is True and proposed_parent is not None:
+            self.apply_subtree(proposed_parent, subtree)
+            return FusionResult(
+                action="auto_approved", target_node_id=proposed_parent,
+                confidence=confidence, match_method=match_method,
+            )
+        review_id = self.review_queue.submit(
+            subtree, proposed_parent, match_method, confidence, reason
+        )
+        return FusionResult(
+            action="queued", target_node_id=proposed_parent,
+            confidence=confidence, match_method=match_method,
+            review_id=review_id,
+        )
+
+    # -- structural application (used directly and by expert approvals) -------
+
+    def apply_subtree(self, parent_id: str,
+                      subtree: ExtractedSubtree) -> str:
+        """Recursively attach ``subtree`` under ``parent_id``.
+
+        Implements the keep-separate rule: children merge only with
+        same-label nodes *under the same parent and with the same
+        category*; a "Rash" under "Children side-effects" never merges
+        with the "Rash" under general "Side-effects".
+        """
+        if parent_id not in self.graph:
+            raise FusionError(f"unknown parent {parent_id!r}")
+        anchor = self.graph.node(parent_id)
+        if anchor.normalized == normalize_label(subtree.label) and (
+            subtree.category is None or anchor.category == subtree.category
+        ):
+            # The anchor IS the subtree root (the usual case when the root
+            # was matched): merge into it instead of nesting a duplicate.
+            if subtree.provenance:
+                anchor.add_provenance(subtree.provenance)
+            for child in subtree.children:
+                self.apply_subtree(parent_id, child)
+            self.matcher.invalidate_cache()
+            return parent_id
+        existing = {
+            (child.normalized, child.category): child
+            for child in self.graph.children(parent_id)
+        }
+        key = (normalize_label(subtree.label),
+               subtree.category)
+        node = existing.get(key)
+        if node is not None:
+            node_id = node.node_id
+            if subtree.provenance:
+                node.add_provenance(subtree.provenance)
+        else:
+            node_id = self.graph.add_node(
+                subtree.label, parent_id, category=subtree.category,
+                provenance=subtree.provenance,
+            )
+        for child in subtree.children:
+            self.apply_subtree(node_id, child)
+        self.matcher.invalidate_cache()
+        return node_id
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.action] = counts.get(result.action, 0) + 1
+        return counts

@@ -1,0 +1,123 @@
+"""Node matching: normalized NLP term matching + embedding-driven matching.
+
+Section 4.2: "This matching process is based on normalized NLP term
+matching, amended by the embedding-driven matching.  The latter is
+especially important in context of new terms, unseen before, which is
+often the case with new vaccines, viral strands, etc."
+
+:class:`NodeMatcher` tries, in order:
+
+1. **term matching** — normalized (stemmed, order-insensitive) label
+   equality, confidence 1.0;
+2. **embedding matching** — cosine similarity between the query label's
+   text vector and node labels' vectors, returning the best node above a
+   threshold.  For an unseen entity this typically lands on a *sibling*
+   (NovoVac ~ Pfizer), from which fusion infers the correct parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.similarity import cosine_similarity
+from repro.embeddings.word2vec import Word2Vec
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.node import KGNode
+
+#: Minimum cosine similarity for an embedding match to count.
+EMBEDDING_THRESHOLD = 0.35
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching a label against the graph."""
+
+    node: KGNode | None
+    method: str  # "term" | "embedding" | "none"
+    confidence: float
+
+    @property
+    def matched(self) -> bool:
+        return self.node is not None
+
+
+class NodeMatcher:
+    """Match extracted labels to KG nodes."""
+
+    def __init__(self, graph: KnowledgeGraph,
+                 word2vec: Word2Vec | None = None,
+                 embedding_threshold: float = EMBEDDING_THRESHOLD) -> None:
+        self.graph = graph
+        self.word2vec = word2vec
+        self.embedding_threshold = embedding_threshold
+        self._vector_cache: dict[str, np.ndarray] = {}
+
+    def _node_vector(self, node: KGNode) -> np.ndarray:
+        assert self.word2vec is not None
+        cached = self._vector_cache.get(node.node_id)
+        if cached is None:
+            cached = self.word2vec.text_vector(node.label)
+            self._vector_cache[node.node_id] = cached
+        return cached
+
+    def invalidate_cache(self) -> None:
+        """Drop cached node vectors (call after bulk graph edits)."""
+        self._vector_cache.clear()
+
+    # -- matching ------------------------------------------------------------
+
+    def term_match(self, label: str,
+                   category: str | None = None) -> MatchResult:
+        """Normalized-term equality; category (when given) must agree."""
+        candidates = self.graph.find_by_label(label)
+        if category is not None:
+            preferred = [
+                node for node in candidates if node.category == category
+            ]
+            candidates = preferred or candidates
+        if candidates:
+            return MatchResult(candidates[0], "term", 1.0)
+        return MatchResult(None, "none", 0.0)
+
+    def embedding_match(self, label: str,
+                        category: str | None = None) -> MatchResult:
+        """Best embedding neighbour above the threshold."""
+        if self.word2vec is None:
+            return MatchResult(None, "none", 0.0)
+        query = self.word2vec.text_vector(label)
+        if not np.any(query):
+            return MatchResult(None, "none", 0.0)
+        best_node: KGNode | None = None
+        best_similarity = self.embedding_threshold
+        for node in self.graph.walk():
+            if node.node_id == self.graph.root_id:
+                continue
+            if category is not None and node.category != category:
+                continue
+            similarity = cosine_similarity(query, self._node_vector(node))
+            if similarity > best_similarity:
+                best_node, best_similarity = node, similarity
+        if best_node is None:
+            return MatchResult(None, "none", 0.0)
+        return MatchResult(best_node, "embedding", float(best_similarity))
+
+    def match(self, label: str, category: str | None = None) -> MatchResult:
+        """Term matching first, embedding matching as the fallback."""
+        result = self.term_match(label, category)
+        if result.matched:
+            return result
+        return self.embedding_match(label, category)
+
+    def sibling_parent(self, label: str,
+                       category: str | None = None) -> KGNode | None:
+        """The parent an unseen entity should live under.
+
+        Embedding-matches ``label`` to its most similar existing node and
+        returns that node's parent — the NovoVac-to-Vaccines inference.
+        """
+        result = self.embedding_match(label, category)
+        if not result.matched or result.node is None:
+            return None
+        return self.graph.parent(result.node.node_id)

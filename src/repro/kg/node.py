@@ -1,0 +1,80 @@
+"""Knowledge-graph nodes.
+
+A node has a human-readable label, a normalized key (stemmed, lowercased
+token multiset) used by term matching, a parent, ordered children, and
+provenance: the ids of papers whose extractions support it.  The paper
+stores the graph "populated with nodes and edges ... in JSON format"; the
+node's ``to_json``/``from_json`` pair reproduces that shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.text.stemmer import stem
+from repro.text.tokenizer import tokenize
+
+
+def normalize_label(label: str) -> str:
+    """Normalized NLP form of a label: stemmed tokens, sorted, joined.
+
+    Sorting makes matching word-order independent ("Vaccine side-effects"
+    == "Side-effects of vaccines" after stopword removal is out of scope,
+    but simple reorderings are covered), and stemming absorbs plural and
+    inflection differences ("Vaccine(s)").
+    """
+    tokens = sorted(stem(token) for token in tokenize(label))
+    return " ".join(tokens)
+
+
+@dataclass
+class KGNode:
+    """One node of the hierarchical knowledge graph."""
+
+    node_id: str
+    label: str
+    parent_id: str | None = None
+    children: list[str] = field(default_factory=list)
+    provenance: list[str] = field(default_factory=list)
+    category: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.normalized = normalize_label(self.label)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_provenance(self, paper_id: str) -> None:
+        if paper_id and paper_id not in self.provenance:
+            self.provenance.append(paper_id)
+
+    def to_json(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "id": self.node_id,
+            "label": self.label,
+            "children": list(self.children),
+        }
+        if self.parent_id is not None:
+            data["parent"] = self.parent_id
+        if self.provenance:
+            data["provenance"] = list(self.provenance)
+        if self.category is not None:
+            data["category"] = self.category
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "KGNode":
+        return cls(
+            node_id=data["id"],
+            label=data["label"],
+            parent_id=data.get("parent"),
+            children=list(data.get("children", [])),
+            provenance=list(data.get("provenance", [])),
+            category=data.get("category"),
+            attributes=dict(data.get("attributes", {})),
+        )

@@ -1,0 +1,176 @@
+"""Expert review queue and the learned fusion corrector (№14 in Figure 1).
+
+Multi-layer fusions and new-structure insertions wait here for a human
+decision.  "Over time, all categories of initial fusion mistakes
+identified by the expert will be learned by the fusion module to be
+automatically corrected, hence most of the fusion is expected to become
+minimally supervised" — :class:`FusionCorrector` implements that loop: it
+keys decisions by (category, depth, match method) and, once a key has
+enough consistent history, predicts the expert's answer so the engine can
+skip the queue.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import FusionError
+from repro.kg.fusion import ExtractedSubtree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kg.fusion import FusionEngine
+
+#: Decisions needed on a feature key before the corrector auto-answers.
+MIN_HISTORY = 3
+#: Required agreement ratio within that history.
+MIN_AGREEMENT = 0.8
+
+
+def _feature_key(subtree: ExtractedSubtree, match_method: str,
+                 operation: str = "attach_subtree"
+                 ) -> tuple[str, int, str, str]:
+    return (subtree.category or "uncategorized",
+            min(subtree.depth(), 3), match_method, operation)
+
+
+class FusionCorrector:
+    """Learns expert decisions per fusion-case category."""
+
+    def __init__(self, min_history: int = MIN_HISTORY,
+                 min_agreement: float = MIN_AGREEMENT) -> None:
+        self.min_history = min_history
+        self.min_agreement = min_agreement
+        self._history: dict[tuple, list[bool]] = defaultdict(list)
+
+    def record(self, subtree: ExtractedSubtree, match_method: str,
+               approved: bool,
+               operation: str = "attach_subtree") -> None:
+        self._history[
+            _feature_key(subtree, match_method, operation)
+        ].append(approved)
+
+    def predict(self, subtree: ExtractedSubtree, match_method: str,
+                operation: str = "attach_subtree") -> bool | None:
+        """The learned decision, or None when history is insufficient."""
+        history = self._history.get(
+            _feature_key(subtree, match_method, operation), []
+        )
+        if len(history) < self.min_history:
+            return None
+        approvals = sum(history) / len(history)
+        if approvals >= self.min_agreement:
+            return True
+        if approvals <= 1.0 - self.min_agreement:
+            return False
+        return None
+
+    def coverage(self) -> dict[tuple, int]:
+        return {key: len(values) for key, values in self._history.items()}
+
+
+@dataclass
+class ReviewItem:
+    """One pending fusion decision.
+
+    ``operation`` selects what an approval applies: ``"attach_subtree"``
+    grafts the subtree under the target node; ``"insert_parent"`` inserts
+    the subtree's root *between* the target node and its current parent
+    (the NovoVac "add Vaccine on top" case).
+    """
+
+    review_id: int
+    subtree: ExtractedSubtree
+    proposed_parent_id: str | None
+    match_method: str
+    confidence: float
+    reason: str
+    operation: str = "attach_subtree"
+    status: str = "pending"  # "pending" | "approved" | "rejected"
+    decided_parent_id: str | None = None
+
+
+#: An expert policy maps a ReviewItem to (approve, parent_id_or_None).
+ExpertPolicy = Callable[[ReviewItem], tuple[bool, str | None]]
+
+
+class ExpertReviewQueue:
+    """FIFO queue of fusions awaiting a (simulated) human expert."""
+
+    def __init__(self, corrector: FusionCorrector | None = None) -> None:
+        self.corrector = corrector or FusionCorrector()
+        self._items: dict[int, ReviewItem] = {}
+        self._next_id = 1
+
+    def submit(self, subtree: ExtractedSubtree,
+               proposed_parent_id: str | None, match_method: str,
+               confidence: float, reason: str,
+               operation: str = "attach_subtree") -> int:
+        if operation not in ("attach_subtree", "insert_parent"):
+            raise FusionError(f"unknown review operation {operation!r}")
+        review_id = self._next_id
+        self._next_id += 1
+        self._items[review_id] = ReviewItem(
+            review_id=review_id, subtree=subtree,
+            proposed_parent_id=proposed_parent_id,
+            match_method=match_method, confidence=confidence,
+            reason=reason, operation=operation,
+        )
+        return review_id
+
+    def pending(self) -> list[ReviewItem]:
+        return [
+            item for item in self._items.values()
+            if item.status == "pending"
+        ]
+
+    def item(self, review_id: int) -> ReviewItem:
+        try:
+            return self._items[review_id]
+        except KeyError:
+            raise FusionError(f"unknown review item {review_id}") from None
+
+    def decide(self, review_id: int, approve: bool,
+               engine: "FusionEngine",
+               parent_id: str | None = None) -> ReviewItem:
+        """Record the expert's decision and apply it when approved."""
+        item = self.item(review_id)
+        if item.status != "pending":
+            raise FusionError(
+                f"review item {review_id} already {item.status}"
+            )
+        target = parent_id or item.proposed_parent_id
+        if approve:
+            if target is None:
+                raise FusionError(
+                    "approval requires a parent node (none proposed)"
+                )
+            if item.operation == "insert_parent":
+                engine.apply_insert_parent(target, item.subtree)
+            else:
+                engine.apply_subtree(target, item.subtree)
+            item.status = "approved"
+            item.decided_parent_id = target
+        else:
+            item.status = "rejected"
+        self.corrector.record(item.subtree, item.match_method, approve,
+                              operation=item.operation)
+        return item
+
+    def process_all(self, engine: "FusionEngine",
+                    policy: ExpertPolicy) -> dict[str, int]:
+        """Run a scripted expert over every pending item."""
+        outcomes = {"approved": 0, "rejected": 0}
+        for item in list(self.pending()):
+            approve, parent_id = policy(item)
+            if approve and parent_id is None and \
+                    item.proposed_parent_id is None:
+                approve = False  # nowhere to attach
+            decided = self.decide(item.review_id, approve, engine,
+                                  parent_id)
+            outcomes[decided.status] += 1
+        return outcomes
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,103 @@
+"""Interactive KG search with path highlighting (paper Section 4.2).
+
+"The user can search over the KG via the front-end interface that except
+matching nodes also highlights the path to the matching nodes.  The user
+can then either browse the graph ... or click the papers linked off these
+nodes."  A hit therefore carries the node, the full root-to-node path, a
+rendered path string with the match marked, and the provenance papers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.node import KGNode
+from repro.text.stemmer import stem
+from repro.text.tokenizer import tokenize
+
+HIGHLIGHT_OPEN = "[["
+HIGHLIGHT_CLOSE = "]]"
+
+
+def _stems(text: str) -> set[str]:
+    """Stemmed tokens of ``text``, with hyphenated compounds also split
+    into their parts so "side effects" matches "Side-effects"."""
+    stems = set()
+    for token in tokenize(text):
+        stems.add(stem(token))
+        if "-" in token or "/" in token:
+            for part in token.replace("/", "-").split("-"):
+                if part:
+                    stems.add(stem(part))
+    return stems
+
+
+@dataclass
+class KGSearchHit:
+    """One matching node with its highlighted path and provenance."""
+
+    node: KGNode
+    path: list[KGNode]
+    score: float
+    papers: list[str]
+
+    @property
+    def path_labels(self) -> list[str]:
+        return [node.label for node in self.path]
+
+    def rendered_path(self) -> str:
+        """``COVID-19 > Vaccines > [[Pfizer]]`` — the UI's highlighted path."""
+        parts = [node.label for node in self.path[:-1]]
+        parts.append(
+            f"{HIGHLIGHT_OPEN}{self.path[-1].label}{HIGHLIGHT_CLOSE}"
+        )
+        return " > ".join(parts)
+
+
+class KGSearchEngine:
+    """Stemmed term search over knowledge-graph node labels."""
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self.graph = graph
+
+    def search(self, query: str, top_k: int = 10) -> list[KGSearchHit]:
+        """Nodes whose labels match the query terms, best first.
+
+        Score = fraction of query term stems present in the node label,
+        with full matches ranked above partial ones and shallower nodes
+        above deeper ones at equal coverage.
+        """
+        query_stems = sorted(_stems(query))
+        if not query_stems:
+            raise QueryError("empty query")
+        hits = []
+        for node in self.graph.walk():
+            label_stems = _stems(node.label)
+            matched = sum(1 for s in query_stems if s in label_stems)
+            if matched == 0:
+                continue
+            coverage = matched / len(query_stems)
+            path = self.graph.path_to(node.node_id)
+            score = coverage - 0.01 * (len(path) - 1)
+            hits.append(KGSearchHit(
+                node=node, path=path, score=score,
+                papers=self.graph.papers_for(node.node_id),
+            ))
+        hits.sort(key=lambda hit: -hit.score)
+        return hits[:top_k]
+
+    def browse(self, node_id: str) -> dict:
+        """The click-a-node payload: node, parent, children, papers."""
+        node = self.graph.node(node_id)
+        parent = self.graph.parent(node_id)
+        return {
+            "node": node.to_json(),
+            "parent": parent.to_json() if parent else None,
+            "children": [
+                child.to_json() for child in self.graph.children(node_id)
+            ],
+            "path": [n.label for n in self.graph.path_to(node_id)],
+            "papers": self.graph.papers_for(node_id),
+        }

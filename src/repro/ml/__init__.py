@@ -1,0 +1,21 @@
+"""Classical machine-learning substrate: SVM, k-means, cross-validation.
+
+The paper's SVM metadata classifier (Section 3.3/3.5) was implemented with
+scikit-learn; this package provides the from-scratch equivalents the
+reproduction uses: a Pegasos-trained linear SVM, a kernelized SVM
+(sigmoid/RBF, the paper's ref [63] studies sigmoid kernels), k-means++
+for topical clustering, and k-fold cross-validation utilities.
+"""
+
+from repro.ml.crossval import StratifiedKFold, cross_validate, train_test_split
+from repro.ml.kmeans import KMeans
+from repro.ml.svm import KernelSVM, LinearSVM
+
+__all__ = [
+    "StratifiedKFold",
+    "cross_validate",
+    "train_test_split",
+    "KMeans",
+    "KernelSVM",
+    "LinearSVM",
+]

@@ -1,0 +1,109 @@
+"""Cross-validation utilities: k-fold splits and the CV harness.
+
+The paper validates its classifiers with 10-fold cross-validation
+(Section 3.3); :func:`cross_validate` reproduces that protocol for any
+model exposing ``fit`` / ``predict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.neural.metrics import binary_metrics
+
+
+class StratifiedKFold:
+    """Stratified k-fold: each fold preserves the class balance."""
+
+    def __init__(self, num_folds: int = 10, seed: int = 0) -> None:
+        if num_folds < 2:
+            raise ModelError("num_folds must be >= 2")
+        self.num_folds = num_folds
+        self.seed = seed
+
+    def split(self, labels: np.ndarray
+              ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) pairs."""
+        labels = np.asarray(labels)
+        num_samples = len(labels)
+        if num_samples < self.num_folds:
+            raise ModelError(
+                f"{num_samples} samples cannot fill {self.num_folds} folds"
+            )
+        rng = np.random.default_rng(self.seed)
+        fold_of = np.empty(num_samples, dtype=int)
+        for value in np.unique(labels):
+            indices = np.flatnonzero(labels == value)
+            rng.shuffle(indices)
+            for position, index in enumerate(indices):
+                fold_of[index] = position % self.num_folds
+        for fold in range(self.num_folds):
+            test = np.flatnonzero(fold_of == fold)
+            train = np.flatnonzero(fold_of != fold)
+            if len(test) == 0 or len(train) == 0:
+                continue
+            yield train, test
+
+
+def train_test_split(features: np.ndarray, labels: np.ndarray,
+                     test_fraction: float = 0.2, seed: int = 0
+                     ) -> tuple[np.ndarray, np.ndarray,
+                                np.ndarray, np.ndarray]:
+    """Shuffled split into (train_x, test_x, train_y, test_y)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError("test_fraction must be in (0, 1)")
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if len(features) != len(labels):
+        raise ModelError("features and labels disagree in length")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(features))
+    cut = max(1, int(round(len(features) * test_fraction)))
+    test_idx, train_idx = order[:cut], order[cut:]
+    return (features[train_idx], features[test_idx],
+            labels[train_idx], labels[test_idx])
+
+
+@dataclass
+class CVResult:
+    """Aggregated metrics over all folds of a cross-validation run."""
+
+    fold_metrics: list[dict[str, float]]
+
+    def mean(self, metric: str) -> float:
+        values = [fold[metric] for fold in self.fold_metrics]
+        return float(np.mean(values))
+
+    def std(self, metric: str) -> float:
+        values = [fold[metric] for fold in self.fold_metrics]
+        return float(np.std(values))
+
+    def summary(self) -> dict[str, float]:
+        keys = self.fold_metrics[0] if self.fold_metrics else {}
+        return {key: self.mean(key) for key in keys}
+
+
+def cross_validate(model_factory: Callable[[], Any],
+                   features: np.ndarray, labels: np.ndarray,
+                   num_folds: int = 10, seed: int = 0) -> CVResult:
+    """k-fold CV of a binary classifier; returns per-fold P/R/F1/accuracy.
+
+    ``model_factory`` must build a fresh model per fold (so folds never
+    leak state) exposing ``fit(x, y)`` and ``predict(x)``.
+    """
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    folds = StratifiedKFold(num_folds=num_folds, seed=seed)
+    fold_metrics = []
+    for train_idx, test_idx in folds.split(labels):
+        model = model_factory()
+        model.fit(features[train_idx], labels[train_idx])
+        predictions = np.asarray(model.predict(features[test_idx]))
+        fold_metrics.append(binary_metrics(labels[test_idx], predictions))
+    if not fold_metrics:
+        raise ModelError("cross-validation produced no folds")
+    return CVResult(fold_metrics)

@@ -1,0 +1,156 @@
+"""K-means clustering with k-means++ initialization.
+
+Backs the topical clustering of publications (№5 in the paper's
+architecture figure): documents are embedded (TF-IDF or tabular
+embeddings) and clustered into COVID-19 topics that feed KG enrichment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Args:
+        num_clusters: k.
+        max_iterations: Lloyd iteration cap.
+        tolerance: stop when centroids move less than this (L2).
+        seed: RNG seed; identical seeds give identical clusterings.
+    """
+
+    def __init__(self, num_clusters: int, max_iterations: int = 100,
+                 tolerance: float = 1e-6, seed: int = 0) -> None:
+        if num_clusters < 1:
+            raise ModelError("num_clusters must be >= 1")
+        self.num_clusters = num_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+        self.centroids: np.ndarray | None = None
+        self.inertia_: float | None = None
+        self.num_iterations_ = 0
+
+    def _init_centroids(self, points: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids apart."""
+        num_points = len(points)
+        first = int(rng.integers(num_points))
+        centroids = [points[first]]
+        squared = np.full(num_points, np.inf)
+        for _ in range(1, self.num_clusters):
+            newest = centroids[-1]
+            distances = np.sum((points - newest) ** 2, axis=1)
+            squared = np.minimum(squared, distances)
+            total = float(squared.sum())
+            if total <= 0.0:
+                # All remaining points coincide with centroids; pick any.
+                index = int(rng.integers(num_points))
+            else:
+                probabilities = squared / total
+                index = int(rng.choice(num_points, p=probabilities))
+            centroids.append(points[index])
+        return np.array(centroids)
+
+    def fit(self, points: np.ndarray) -> "KMeans":
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ModelError("points must be a 2-D array")
+        if len(points) < self.num_clusters:
+            raise ModelError(
+                f"need at least {self.num_clusters} points, got {len(points)}"
+            )
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(points, rng)
+
+        for iteration in range(self.max_iterations):
+            assignments = self._assign(points, centroids)
+            new_centroids = centroids.copy()
+            for cluster in range(self.num_clusters):
+                members = points[assignments == cluster]
+                if len(members):
+                    new_centroids[cluster] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            self.num_iterations_ = iteration + 1
+            if shift < self.tolerance:
+                break
+
+        self.centroids = centroids
+        assignments = self._assign(points, centroids)
+        self.inertia_ = float(
+            np.sum((points - centroids[assignments]) ** 2)
+        )
+        return self
+
+    @staticmethod
+    def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        distances = (
+            np.sum(points ** 2, axis=1)[:, None]
+            - 2.0 * points @ centroids.T
+            + np.sum(centroids ** 2, axis=1)[None, :]
+        )
+        return np.argmin(distances, axis=1)
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        if self.centroids is None:
+            raise NotFittedError("KMeans.fit has not run")
+        points = np.asarray(points, dtype=np.float64)
+        return self._assign(points, self.centroids)
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        return self.fit(points).predict(points)
+
+
+def purity(assignments: np.ndarray, truth: np.ndarray) -> float:
+    """Cluster purity against ground-truth labels (E13 metric)."""
+    assignments = np.asarray(assignments)
+    truth = np.asarray(truth)
+    if len(assignments) != len(truth):
+        raise ModelError("assignments and truth disagree in length")
+    if len(assignments) == 0:
+        return 0.0
+    total = 0
+    for cluster in np.unique(assignments):
+        members = truth[assignments == cluster]
+        values, counts = np.unique(members, return_counts=True)
+        total += int(counts.max())
+        del values
+    return total / len(assignments)
+
+
+def normalized_mutual_information(assignments: np.ndarray,
+                                  truth: np.ndarray) -> float:
+    """NMI between a clustering and ground truth (E13 metric)."""
+    assignments = np.asarray(assignments)
+    truth = np.asarray(truth)
+    if len(assignments) != len(truth):
+        raise ModelError("assignments and truth disagree in length")
+    n = len(assignments)
+    if n == 0:
+        return 0.0
+
+    def entropy(labels: np.ndarray) -> float:
+        _, counts = np.unique(labels, return_counts=True)
+        probabilities = counts / n
+        return float(-np.sum(probabilities * np.log(probabilities)))
+
+    h_a, h_t = entropy(assignments), entropy(truth)
+    if h_a == 0.0 and h_t == 0.0:
+        return 1.0
+    if h_a == 0.0 or h_t == 0.0:
+        return 0.0
+
+    mutual = 0.0
+    for cluster in np.unique(assignments):
+        in_cluster = assignments == cluster
+        p_cluster = in_cluster.sum() / n
+        for label in np.unique(truth):
+            joint = np.sum(in_cluster & (truth == label)) / n
+            if joint > 0:
+                p_label = np.sum(truth == label) / n
+                mutual += joint * np.log(joint / (p_cluster * p_label))
+    return float(mutual / np.sqrt(h_a * h_t))

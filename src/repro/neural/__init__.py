@@ -1,0 +1,42 @@
+"""A small from-scratch deep-learning framework on numpy.
+
+The paper implements its RNN models "using Keras, with Tensorflow framework
+as the backend" (Section 3); neither is available offline, so this package
+provides the pieces the BiGRU ensemble of Figure 3 needs: embeddings,
+dense/batch-norm/dropout layers, GRU and LSTM cells with full backprop
+through time, a bidirectional wrapper, binary cross-entropy, SGD/Adam, and
+a Sequential model with a Keras-like ``fit``/``predict`` surface.
+
+Shapes follow the (batch, time, features) convention throughout.
+"""
+
+from repro.neural.layers import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+)
+from repro.neural.losses import BinaryCrossEntropy
+from repro.neural.metrics import binary_metrics, f1_score, precision_recall
+from repro.neural.model import Sequential
+from repro.neural.optimizers import SGD, Adam
+from repro.neural.recurrent import GRU, LSTM, Bidirectional
+
+__all__ = [
+    "BatchNorm",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "BinaryCrossEntropy",
+    "binary_metrics",
+    "f1_score",
+    "precision_recall",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "GRU",
+    "LSTM",
+    "Bidirectional",
+]

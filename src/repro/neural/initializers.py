@@ -1,0 +1,25 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Orthogonal initialization for square recurrent matrices."""
+    matrix = rng.standard_normal((size, size))
+    q, _ = np.linalg.qr(matrix)
+    return q
+
+
+def zeros(*shape: int) -> np.ndarray:
+    return np.zeros(shape)

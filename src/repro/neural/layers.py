@@ -1,0 +1,278 @@
+"""Feed-forward layers: Dense, Embedding, Dropout, BatchNorm, Flatten.
+
+Every layer implements the protocol
+
+* ``forward(inputs, training=False) -> outputs``
+* ``backward(grad_outputs) -> grad_inputs`` (parameter gradients are
+  accumulated into ``layer.grads`` aligned with ``layer.params``)
+* ``params`` / ``grads`` — lists of numpy arrays, possibly empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.neural.activations import relu, relu_grad, sigmoid, sigmoid_grad, tanh, tanh_grad
+from repro.neural.initializers import glorot_uniform
+
+
+class Layer:
+    """Base layer; stateless layers only override forward/backward."""
+
+    def __init__(self) -> None:
+        self.params: list[np.ndarray] = []
+        self.grads: list[np.ndarray] = []
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        for grad in self.grads:
+            grad[...] = 0.0
+
+    def __call__(self, inputs: np.ndarray,
+                 training: bool = False) -> np.ndarray:
+        return self.forward(inputs, training)
+
+
+_ACTIVATIONS = {
+    None: (lambda x: x, None),
+    "relu": (relu, "pre"),
+    "sigmoid": (sigmoid, "post"),
+    "tanh": (tanh, "post"),
+}
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = activation(x W + b)``.
+
+    Accepts 2-D ``(batch, features)`` or 3-D ``(batch, time, features)``
+    inputs; 3-D inputs apply the same weights at every time step.
+    """
+
+    def __init__(self, input_size: int, output_size: int,
+                 activation: str | None = None, seed: int = 0) -> None:
+        super().__init__()
+        if activation not in _ACTIVATIONS:
+            raise ModelError(f"unknown activation {activation!r}")
+        rng = np.random.default_rng(seed)
+        self.weights = glorot_uniform(rng, input_size, output_size)
+        self.bias = np.zeros(output_size)
+        self.params = [self.weights, self.bias]
+        self.grads = [np.zeros_like(self.weights), np.zeros_like(self.bias)]
+        self.activation = activation
+        self._inputs: np.ndarray | None = None
+        self._pre: np.ndarray | None = None
+        self._post: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        self._inputs = inputs
+        self._pre = inputs @ self.weights + self.bias
+        function, _ = _ACTIVATIONS[self.activation]
+        self._post = function(self._pre)
+        return self._post
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        if self._inputs is None or self._pre is None or self._post is None:
+            raise ModelError("backward before forward")
+        if self.activation == "relu":
+            grad_pre = grad_outputs * relu_grad(self._pre)
+        elif self.activation == "sigmoid":
+            grad_pre = grad_outputs * sigmoid_grad(self._post)
+        elif self.activation == "tanh":
+            grad_pre = grad_outputs * tanh_grad(self._post)
+        else:
+            grad_pre = grad_outputs
+
+        inputs_2d = self._inputs.reshape(-1, self._inputs.shape[-1])
+        grad_2d = grad_pre.reshape(-1, grad_pre.shape[-1])
+        self.grads[0] += inputs_2d.T @ grad_2d
+        self.grads[1] += grad_2d.sum(axis=0)
+        return grad_pre @ self.weights.T
+
+
+class Embedding(Layer):
+    """Token-index lookup ``(batch, time) -> (batch, time, dim)``.
+
+    Can be initialized from pre-trained vectors (the paper pre-trains
+    Word2Vec on WDC + CORD-19 and fine-tunes end-to-end); set
+    ``trainable=False`` to freeze them.
+    """
+
+    def __init__(self, vocab_size: int, dim: int, seed: int = 0,
+                 weights: np.ndarray | None = None,
+                 trainable: bool = True) -> None:
+        super().__init__()
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (vocab_size, dim):
+                raise ModelError(
+                    f"pre-trained weights shape {weights.shape} != "
+                    f"({vocab_size}, {dim})"
+                )
+            self.weights = weights.copy()
+        else:
+            rng = np.random.default_rng(seed)
+            self.weights = rng.normal(0.0, 0.1, size=(vocab_size, dim))
+        self.trainable = trainable
+        if trainable:
+            self.params = [self.weights]
+            self.grads = [np.zeros_like(self.weights)]
+        self._indices: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        indices = np.asarray(inputs, dtype=np.int64)
+        if np.any(indices < 0) or np.any(indices >= len(self.weights)):
+            raise ModelError("embedding index out of range")
+        self._indices = indices
+        return self.weights[indices]
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        if self._indices is None:
+            raise ModelError("backward before forward")
+        if self.trainable:
+            flat_idx = self._indices.reshape(-1)
+            flat_grad = grad_outputs.reshape(-1, grad_outputs.shape[-1])
+            np.add.at(self.grads[0], flat_idx, flat_grad)
+        # Indices are not differentiable; return zeros of input shape.
+        return np.zeros(self._indices.shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ModelError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (
+            self._rng.random(inputs.shape) < keep
+        ).astype(np.float64) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_outputs
+        return grad_outputs * self._mask
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the batch axis with running statistics."""
+
+    def __init__(self, size: int, momentum: float = 0.9,
+                 epsilon: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = np.ones(size)
+        self.beta = np.zeros(size)
+        self.params = [self.gamma, self.beta]
+        self.grads = [np.zeros_like(self.gamma), np.zeros_like(self.beta)]
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.running_mean = np.zeros(size)
+        self.running_var = np.ones(size)
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        if training:
+            mean = inputs.mean(axis=0)
+            var = inputs.var(axis=0)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.epsilon)
+        normalized = (inputs - mean) / std
+        if training:
+            self._cache = (normalized, std, inputs - mean)
+        else:
+            self._cache = None
+        return self.gamma * normalized + self.beta
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            # Inference-mode backward (running stats are constants).
+            return grad_outputs * self.gamma / np.sqrt(
+                self.running_var + self.epsilon
+            )
+        normalized, std, centered = self._cache
+        batch = grad_outputs.shape[0]
+        self.grads[0] += np.sum(grad_outputs * normalized, axis=0)
+        self.grads[1] += np.sum(grad_outputs, axis=0)
+        grad_norm = grad_outputs * self.gamma
+        grad_var = np.sum(
+            grad_norm * centered * -0.5 / std ** 3, axis=0
+        )
+        grad_mean = (
+            np.sum(-grad_norm / std, axis=0)
+            + grad_var * np.mean(-2.0 * centered, axis=0)
+        )
+        return (
+            grad_norm / std
+            + grad_var * 2.0 * centered / batch
+            + grad_mean / batch
+        )
+
+
+class Flatten(Layer):
+    """Collapse all axes after the batch axis."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        self._shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ModelError("backward before forward")
+        return grad_outputs.reshape(self._shape)
+
+
+class GlobalAveragePooling(Layer):
+    """Mean over the time axis ``(batch, time, features) -> (batch, features)``.
+
+    The paper argues this is ill-suited for tuple representations (it
+    averages away context); it exists here as the ablation baseline.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._time: int | None = None
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        self._time = inputs.shape[1]
+        return inputs.mean(axis=1)
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        if self._time is None:
+            raise ModelError("backward before forward")
+        expanded = np.repeat(
+            grad_outputs[:, None, :], self._time, axis=1
+        )
+        return expanded / self._time

@@ -1,0 +1,57 @@
+"""Binary classification metrics: precision, recall, F1, accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _validate(truth: np.ndarray, predicted: np.ndarray
+              ) -> tuple[np.ndarray, np.ndarray]:
+    truth = np.asarray(truth).astype(int)
+    predicted = np.asarray(predicted).astype(int)
+    if truth.shape != predicted.shape:
+        raise ModelError(
+            f"shape mismatch {truth.shape} vs {predicted.shape}"
+        )
+    return truth, predicted
+
+
+def precision_recall(truth: np.ndarray,
+                     predicted: np.ndarray) -> tuple[float, float]:
+    """(precision, recall) of the positive class; 0.0 when undefined."""
+    truth, predicted = _validate(truth, predicted)
+    true_pos = int(np.sum((truth == 1) & (predicted == 1)))
+    pred_pos = int(np.sum(predicted == 1))
+    actual_pos = int(np.sum(truth == 1))
+    precision = true_pos / pred_pos if pred_pos else 0.0
+    recall = true_pos / actual_pos if actual_pos else 0.0
+    return precision, recall
+
+
+def f1_score(truth: np.ndarray, predicted: np.ndarray) -> float:
+    """F-measure (harmonic mean of precision and recall)."""
+    precision, recall = precision_recall(truth, predicted)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def accuracy(truth: np.ndarray, predicted: np.ndarray) -> float:
+    truth, predicted = _validate(truth, predicted)
+    if truth.size == 0:
+        return 0.0
+    return float(np.mean(truth == predicted))
+
+
+def binary_metrics(truth: np.ndarray,
+                   predicted: np.ndarray) -> dict[str, float]:
+    """All four metrics in one dict (the CV harness row format)."""
+    precision, recall = precision_recall(truth, predicted)
+    return {
+        "precision": precision,
+        "recall": recall,
+        "f1": f1_score(truth, predicted),
+        "accuracy": accuracy(truth, predicted),
+    }

@@ -1,0 +1,86 @@
+"""Optimizers: SGD with momentum and Adam.
+
+Optimizers mutate parameter arrays in place; layers share their arrays
+through ``params`` so the whole model updates together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and clipping."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0,
+                 clip_norm: float | None = None) -> None:
+        if learning_rate <= 0:
+            raise ModelError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params: list[np.ndarray],
+             grads: list[np.ndarray]) -> None:
+        grads = _maybe_clip(grads, self.clip_norm)
+        for param, grad in zip(params, grads):
+            if self.momentum:
+                velocity = self._velocity.setdefault(
+                    id(param), np.zeros_like(param)
+                )
+                velocity *= self.momentum
+                velocity -= self.learning_rate * grad
+                param += velocity
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015) with optional gradient-norm clipping."""
+
+    def __init__(self, learning_rate: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8,
+                 clip_norm: float | None = None) -> None:
+        if learning_rate <= 0:
+            raise ModelError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.clip_norm = clip_norm
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[np.ndarray],
+             grads: list[np.ndarray]) -> None:
+        grads = _maybe_clip(grads, self.clip_norm)
+        self._t += 1
+        correction1 = 1.0 - self.beta1 ** self._t
+        correction2 = 1.0 - self.beta2 ** self._t
+        for param, grad in zip(params, grads):
+            m = self._m.setdefault(id(param), np.zeros_like(param))
+            v = self._v.setdefault(id(param), np.zeros_like(param))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            param -= self.learning_rate * m_hat / (
+                np.sqrt(v_hat) + self.epsilon
+            )
+
+
+def _maybe_clip(grads: list[np.ndarray],
+                clip_norm: float | None) -> list[np.ndarray]:
+    if clip_norm is None:
+        return grads
+    total = float(np.sqrt(sum(float(np.sum(g ** 2)) for g in grads)))
+    if total <= clip_norm or total == 0.0:
+        return grads
+    scale = clip_norm / total
+    return [grad * scale for grad in grads]

@@ -1,0 +1,316 @@
+"""Recurrent layers: GRU, LSTM (full BPTT), and a Bidirectional wrapper.
+
+Conventions:
+
+* inputs are ``(batch, time, input_size)``,
+* ``return_sequences=True`` yields ``(batch, time, hidden)``, otherwise the
+  last hidden state ``(batch, hidden)``,
+* GRU update: ``h_t = z_t * h_{t-1} + (1 - z_t) * h~_t`` (Keras convention).
+
+The paper chose biGRU over biLSTM because the quality difference was small
+while GRU trained faster (Section 3.6) — both cells are implemented so the
+E2 benchmark can reproduce that trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.neural.activations import sigmoid, sigmoid_grad, tanh_grad
+from repro.neural.initializers import glorot_uniform, orthogonal
+from repro.neural.layers import Layer
+
+
+class GRU(Layer):
+    """Gated recurrent unit layer with backprop through time."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 return_sequences: bool = True, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        # Gate order along the last axis: [z | r | h~].
+        self.w_x = glorot_uniform(rng, input_size, 3 * hidden_size,
+                                  shape=(input_size, 3 * hidden_size))
+        self.w_h = np.concatenate(
+            [orthogonal(rng, hidden_size) for _ in range(3)], axis=1
+        )
+        self.bias = np.zeros(3 * hidden_size)
+        self.params = [self.w_x, self.w_h, self.bias]
+        self.grads = [np.zeros_like(p) for p in self.params]
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3 or inputs.shape[2] != self.input_size:
+            raise ModelError(
+                f"GRU expects (batch, time, {self.input_size}), "
+                f"got {inputs.shape}"
+            )
+        batch, time, _ = inputs.shape
+        h = self.hidden_size
+        hidden = np.zeros((batch, h))
+        hiddens = np.zeros((batch, time, h))
+        z_all = np.zeros((batch, time, h))
+        r_all = np.zeros((batch, time, h))
+        cand_all = np.zeros((batch, time, h))
+        prev_all = np.zeros((batch, time, h))
+
+        for t in range(time):
+            x_t = inputs[:, t, :]
+            gates_x = x_t @ self.w_x + self.bias
+            gates_h = hidden @ self.w_h
+            z = sigmoid(gates_x[:, :h] + gates_h[:, :h])
+            r = sigmoid(gates_x[:, h:2 * h] + gates_h[:, h:2 * h])
+            candidate = np.tanh(
+                gates_x[:, 2 * h:] + (r * hidden) @ self.w_h[:, 2 * h:]
+            )
+            prev_all[:, t, :] = hidden
+            hidden = z * hidden + (1.0 - z) * candidate
+            hiddens[:, t, :] = hidden
+            z_all[:, t, :] = z
+            r_all[:, t, :] = r
+            cand_all[:, t, :] = candidate
+
+        self._cache = {
+            "inputs": inputs, "hiddens": hiddens, "z": z_all, "r": r_all,
+            "candidate": cand_all, "prev": prev_all,
+        }
+        if self.return_sequences:
+            return hiddens
+        return hiddens[:, -1, :]
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward before forward")
+        cache = self._cache
+        inputs = cache["inputs"]
+        batch, time, _ = inputs.shape
+        h = self.hidden_size
+
+        if self.return_sequences:
+            grad_seq = grad_outputs
+        else:
+            grad_seq = np.zeros((batch, time, h))
+            grad_seq[:, -1, :] = grad_outputs
+
+        grad_inputs = np.zeros_like(inputs)
+        grad_hidden = np.zeros((batch, h))
+        w_hz, w_hr, w_hc = (
+            self.w_h[:, :h], self.w_h[:, h:2 * h], self.w_h[:, 2 * h:]
+        )
+
+        for t in reversed(range(time)):
+            dh = grad_seq[:, t, :] + grad_hidden
+            z = cache["z"][:, t, :]
+            r = cache["r"][:, t, :]
+            candidate = cache["candidate"][:, t, :]
+            prev = cache["prev"][:, t, :]
+            x_t = inputs[:, t, :]
+
+            d_candidate = dh * (1.0 - z)
+            d_candidate_pre = d_candidate * tanh_grad(candidate)
+            dz = dh * (prev - candidate)
+            dz_pre = dz * sigmoid_grad(z)
+
+            d_rh = d_candidate_pre @ w_hc.T  # grad w.r.t. (r * prev)
+            dr = d_rh * prev
+            dr_pre = dr * sigmoid_grad(r)
+
+            # Parameter gradients (gate order [z | r | h~]).
+            gate_pre = np.concatenate(
+                [dz_pre, dr_pre, d_candidate_pre], axis=1
+            )
+            self.grads[0] += x_t.T @ gate_pre
+            self.grads[1][:, :h] += prev.T @ dz_pre
+            self.grads[1][:, h:2 * h] += prev.T @ dr_pre
+            self.grads[1][:, 2 * h:] += (r * prev).T @ d_candidate_pre
+            self.grads[2] += gate_pre.sum(axis=0)
+
+            grad_inputs[:, t, :] = gate_pre @ self.w_x.T
+            grad_hidden = (
+                dh * z
+                + d_rh * r
+                + dz_pre @ w_hz.T
+                + dr_pre @ w_hr.T
+            )
+        return grad_inputs
+
+
+class LSTM(Layer):
+    """Long short-term memory layer with backprop through time."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 return_sequences: bool = True, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        # Gate order along the last axis: [i | f | o | g].
+        self.w_x = glorot_uniform(rng, input_size, 4 * hidden_size,
+                                  shape=(input_size, 4 * hidden_size))
+        self.w_h = np.concatenate(
+            [orthogonal(rng, hidden_size) for _ in range(4)], axis=1
+        )
+        self.bias = np.zeros(4 * hidden_size)
+        # Forget-gate bias starts at 1 (standard trick for gradient flow).
+        self.bias[hidden_size:2 * hidden_size] = 1.0
+        self.params = [self.w_x, self.w_h, self.bias]
+        self.grads = [np.zeros_like(p) for p in self.params]
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+        self._cache: dict[str, np.ndarray] | None = None
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3 or inputs.shape[2] != self.input_size:
+            raise ModelError(
+                f"LSTM expects (batch, time, {self.input_size}), "
+                f"got {inputs.shape}"
+            )
+        batch, time, _ = inputs.shape
+        h = self.hidden_size
+        hidden = np.zeros((batch, h))
+        cell = np.zeros((batch, h))
+        store = {
+            name: np.zeros((batch, time, h))
+            for name in ("i", "f", "o", "g", "cell", "prev_cell", "hiddens")
+        }
+
+        for t in range(time):
+            x_t = inputs[:, t, :]
+            gates = x_t @ self.w_x + hidden @ self.w_h + self.bias
+            i = sigmoid(gates[:, :h])
+            f = sigmoid(gates[:, h:2 * h])
+            o = sigmoid(gates[:, 2 * h:3 * h])
+            g = np.tanh(gates[:, 3 * h:])
+            store["prev_cell"][:, t, :] = cell
+            cell = f * cell + i * g
+            hidden = o * np.tanh(cell)
+            for name, value in (("i", i), ("f", f), ("o", o), ("g", g),
+                                ("cell", cell), ("hiddens", hidden)):
+                store[name][:, t, :] = value
+
+        self._cache = {"inputs": inputs, **store}
+        if self.return_sequences:
+            return store["hiddens"]
+        return store["hiddens"][:, -1, :]
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward before forward")
+        cache = self._cache
+        inputs = cache["inputs"]
+        batch, time, _ = inputs.shape
+        h = self.hidden_size
+
+        if self.return_sequences:
+            grad_seq = grad_outputs
+        else:
+            grad_seq = np.zeros((batch, time, h))
+            grad_seq[:, -1, :] = grad_outputs
+
+        grad_inputs = np.zeros_like(inputs)
+        grad_hidden = np.zeros((batch, h))
+        grad_cell = np.zeros((batch, h))
+
+        for t in reversed(range(time)):
+            dh = grad_seq[:, t, :] + grad_hidden
+            i = cache["i"][:, t, :]
+            f = cache["f"][:, t, :]
+            o = cache["o"][:, t, :]
+            g = cache["g"][:, t, :]
+            cell = cache["cell"][:, t, :]
+            prev_cell = cache["prev_cell"][:, t, :]
+            x_t = inputs[:, t, :]
+            prev_hidden = (
+                cache["hiddens"][:, t - 1, :] if t > 0
+                else np.zeros((batch, h))
+            )
+
+            tanh_cell = np.tanh(cell)
+            do = dh * tanh_cell
+            dc = dh * o * (1.0 - tanh_cell ** 2) + grad_cell
+            di = dc * g
+            df = dc * prev_cell
+            dg = dc * i
+
+            di_pre = di * sigmoid_grad(i)
+            df_pre = df * sigmoid_grad(f)
+            do_pre = do * sigmoid_grad(o)
+            dg_pre = dg * tanh_grad(g)
+            gate_pre = np.concatenate(
+                [di_pre, df_pre, do_pre, dg_pre], axis=1
+            )
+
+            self.grads[0] += x_t.T @ gate_pre
+            self.grads[1] += prev_hidden.T @ gate_pre
+            self.grads[2] += gate_pre.sum(axis=0)
+
+            grad_inputs[:, t, :] = gate_pre @ self.w_x.T
+            grad_hidden = gate_pre @ self.w_h.T
+            grad_cell = dc * f
+        return grad_inputs
+
+
+class Bidirectional(Layer):
+    """Run a forward and a backward copy of an RNN; concatenate outputs.
+
+    ``layer_factory(seed)`` must build a fresh recurrent layer with
+    ``return_sequences=True``; the wrapper concatenates along features,
+    giving ``(batch, time, 2 * hidden)``.
+    """
+
+    def __init__(self, forward_layer: Layer, backward_layer: Layer) -> None:
+        super().__init__()
+        if not getattr(forward_layer, "return_sequences", True) or \
+           not getattr(backward_layer, "return_sequences", True):
+            raise ModelError(
+                "Bidirectional requires return_sequences=True sub-layers"
+            )
+        self.forward_layer = forward_layer
+        self.backward_layer = backward_layer
+        self.params = forward_layer.params + backward_layer.params
+        self.grads = forward_layer.grads + backward_layer.grads
+        self._hidden: int | None = None
+
+    @classmethod
+    def gru(cls, input_size: int, hidden_size: int,
+            seed: int = 0) -> "Bidirectional":
+        return cls(
+            GRU(input_size, hidden_size, return_sequences=True, seed=seed),
+            GRU(input_size, hidden_size, return_sequences=True,
+                seed=seed + 1),
+        )
+
+    @classmethod
+    def lstm(cls, input_size: int, hidden_size: int,
+             seed: int = 0) -> "Bidirectional":
+        return cls(
+            LSTM(input_size, hidden_size, return_sequences=True, seed=seed),
+            LSTM(input_size, hidden_size, return_sequences=True,
+                 seed=seed + 1),
+        )
+
+    def forward(self, inputs: np.ndarray,
+                training: bool = False) -> np.ndarray:
+        forward_out = self.forward_layer.forward(inputs, training)
+        backward_out = self.backward_layer.forward(
+            inputs[:, ::-1, :], training
+        )[:, ::-1, :]
+        self._hidden = forward_out.shape[-1]
+        return np.concatenate([forward_out, backward_out], axis=-1)
+
+    def backward(self, grad_outputs: np.ndarray) -> np.ndarray:
+        if self._hidden is None:
+            raise ModelError("backward before forward")
+        h = self._hidden
+        grad_forward = self.forward_layer.backward(grad_outputs[:, :, :h])
+        grad_backward = self.backward_layer.backward(
+            grad_outputs[:, ::-1, h:]
+        )[:, ::-1, :]
+        return grad_forward + grad_backward

@@ -1,0 +1,142 @@
+"""Shared search-engine machinery: index, pipeline evaluation, pagination.
+
+Pipeline shape (paper Section 2.1, verbatim design):
+
+1. ``$match`` **first**, with stemmed-regex filters, "to minimize the
+   amount of data being passed through all the latter stages";
+2. ``$project`` keeping "only ... fields that were necessary for carrying
+   out calculations and printing to the screen";
+3. a custom ``$function`` stage deriving the ranking score per document;
+4. ``$sort`` by score, then pagination "as a list of ten per page".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.docstore.aggregation import AggregationResult, aggregate
+from repro.docstore.collection import Collection
+from repro.docstore.functions import FunctionRegistry
+from repro.errors import QueryError
+from repro.search.indexing import ALL_SEARCH_FIELDS, build_search_document
+from repro.search.query import ParsedQuery
+from repro.search.ranking import RankingFunction
+from repro.text.stemmer import stem
+from repro.text.tfidf import TfIdfModel
+from repro.text.tokenizer import tokenize
+
+PAGE_SIZE = 10
+
+#: Fields every engine projects (id, display fields, ranking inputs).
+PROJECTED_FIELDS = [
+    "paper_id", "title", "abstract", "authors", "publish_time", "journal",
+    "search", "static_rank", "tables",
+]
+
+
+@dataclass
+class SearchResult:
+    """One ranked hit with its display payload."""
+
+    paper_id: str
+    title: str
+    score: float
+    snippets: dict[str, str] = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SearchResults:
+    """One page of results plus evaluation metadata."""
+
+    query: str
+    page: int
+    total_matches: int
+    results: list[SearchResult]
+    seconds: float
+    stage_stats: list[Any] = field(default_factory=list)
+
+    @property
+    def num_pages(self) -> int:
+        return (self.total_matches + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class SearchEngineBase:
+    """Common index + pipeline evaluation; engines define match/rank/format."""
+
+    def __init__(self, registry: FunctionRegistry | None = None,
+                 expander=None) -> None:
+        self.collection = Collection("publications")
+        self.tfidf = TfIdfModel()
+        self.registry = registry or FunctionRegistry()
+        self.expander = expander
+        self.ranking = RankingFunction(self.tfidf, expander=expander)
+        self._indexed = 0
+
+    # -- ingest -------------------------------------------------------------
+
+    def add_paper(self, paper: dict[str, Any]) -> None:
+        """Index one CORD-19-style paper."""
+        document = build_search_document(paper)
+        stems = []
+        for field_name in ALL_SEARCH_FIELDS:
+            text = self._field_text(document, field_name)
+            stems.extend(stem(token) for token in tokenize(text))
+        self.tfidf.add_document_tokens(stems)
+        self.collection.insert_one(document)
+        self._indexed += 1
+
+    def add_papers(self, papers: list[dict[str, Any]]) -> None:
+        for paper in papers:
+            self.add_paper(paper)
+
+    @staticmethod
+    def _field_text(document: dict[str, Any], dotted: str) -> str:
+        value: Any = document
+        for part in dotted.split("."):
+            if not isinstance(value, dict):
+                return ""
+            value = value.get(part, "")
+        return value if isinstance(value, str) else ""
+
+    @property
+    def num_documents(self) -> int:
+        return self._indexed
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _run_pipeline(self, parsed: ParsedQuery,
+                      match_stage: dict[str, Any],
+                      rank_fields: list[str],
+                      page: int) -> tuple[AggregationResult, int, float]:
+        """Execute the canonical pipeline; returns (page, total, seconds)."""
+        if page < 1:
+            raise QueryError("pages are 1-based")
+        function_name = f"rank_{id(self)}"
+        self.registry.register(
+            function_name, self.ranking.scorer(parsed, rank_fields)
+        )
+        started = time.perf_counter()
+        stages = [
+            {"$match": match_stage},
+            {"$project": {name: 1 for name in PROJECTED_FIELDS}},
+            {"$function": {"name": function_name, "as": "score"}},
+            {"$sort": {"score": -1}},
+        ]
+        ranked = aggregate(self.collection, stages, self.registry)
+        total = len(ranked.documents)
+        paged = aggregate(ranked.documents, [
+            {"$skip": (page - 1) * PAGE_SIZE},
+            {"$limit": PAGE_SIZE},
+        ], self.registry)
+        seconds = time.perf_counter() - started
+        paged.stages = ranked.stages + paged.stages
+        return paged, total, seconds

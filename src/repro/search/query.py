@@ -1,0 +1,120 @@
+"""Query parsing: stemmed loose terms and quoted exact phrases.
+
+"Each one allows for exact match of the query if wrapped in quotes or
+stemming match capability on a tokenized query" — the parser produces, per
+token, the regular expression the ``$match`` stage uses: exact phrases
+escape verbatim; loose terms match any word sharing the Porter stem's
+prefix (``masks`` -> stem ``mask`` -> ``\\bmask\\w*``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.text.stemmer import stem
+from repro.text.tokenizer import QueryToken, tokenize_query
+
+
+@dataclass(frozen=True)
+class QueryTerm:
+    """One searchable unit with its match regex."""
+
+    text: str
+    exact: bool
+    pattern: str  # regex source, compiled with IGNORECASE by consumers
+
+    @property
+    def stemmed(self) -> str:
+        return self.text if self.exact else stem(self.text)
+
+    def regex(self) -> re.Pattern[str]:
+        return re.compile(self.pattern, re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed user query: ordered terms plus convenience views."""
+
+    raw: str
+    terms: tuple[QueryTerm, ...]
+
+    @property
+    def words(self) -> list[str]:
+        """Every individual word across terms (phrases contribute each)."""
+        result = []
+        for term in self.terms:
+            result.extend(term.text.split())
+        return result
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+
+def _pattern_for(token: QueryToken) -> str:
+    if token.exact:
+        return r"\b" + re.escape(token.text) + r"\b"
+    root = stem(token.text)
+    # The stem is a prefix of most inflections ("mask" ~ masks/masked/...).
+    # Porter stems sometimes end in 'i' for y-inflections (happi); allow
+    # the original token too.
+    escaped_root = re.escape(root)
+    escaped_word = re.escape(token.text)
+    return rf"\b(?:{escaped_root}|{escaped_word})\w*"
+
+
+def parse_query(query: str) -> ParsedQuery:
+    """Parse ``query``; raises :class:`QueryError` when empty."""
+    tokens = tokenize_query(query)
+    if not tokens:
+        raise QueryError("empty query")
+    terms = tuple(
+        QueryTerm(text=token.text, exact=token.exact,
+                  pattern=_pattern_for(token))
+        for token in tokens
+    )
+    return ParsedQuery(raw=query, terms=terms)
+
+
+def match_filter(parsed: ParsedQuery, fields: list[str],
+                 expander=None) -> dict:
+    """The ``$match`` document: AND over terms, OR over fields per term.
+
+    With a :class:`~repro.search.synonyms.SynonymExpander`, a loose term
+    is also satisfied by any of its synonyms (quoted terms stay literal),
+    widening recall the way the ranking's synonym support widens scoring.
+    """
+    clauses = []
+    for term in parsed.terms:
+        patterns = [term.pattern]
+        if expander is not None and not term.exact:
+            for synonym, _weight in expander.expand(term.text):
+                patterns.append(r"\b" + re.escape(synonym) + r"\w*")
+        clauses.append({
+            "$or": [
+                {field: {"$regex": pattern, "$options": "i"}}
+                for field in fields
+                for pattern in patterns
+            ]
+        })
+    if len(clauses) == 1:
+        return clauses[0]
+    return {"$and": clauses}
+
+
+def field_match_filter(parsed: ParsedQuery, field: str) -> dict:
+    """A ``$match`` clause demanding at least one term inside ``field``.
+
+    This is the *inclusive field* semantics of Section 2.1.1: "if a user
+    searches on a field there must be a document that matches at least one
+    term in that field".
+    """
+    if len(parsed.terms) == 1:
+        return {field: {"$regex": parsed.terms[0].pattern, "$options": "i"}}
+    return {
+        "$or": [
+            {field: {"$regex": term.pattern, "$options": "i"}}
+            for term in parsed.terms
+        ]
+    }

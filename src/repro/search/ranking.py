@@ -1,0 +1,179 @@
+"""The ranking function behind all three search engines.
+
+"The ranking is an accumulation of various weighted features per document,
+such as the number of matches, proximity between the matched terms and
+which field the term was matched in.  Each term in the corpus has an
+associated TF-IDF weight in order to reward more important terms."
+
+Score per document =
+
+    sum over fields f:  field_weight(f) * sum over terms t: tfidf(t, f)
+  + proximity_bonus  (1 / (min window covering all distinct terms), on the
+                      best field; multi-term queries only)
+  + static score     (publication-level features: recency, table count)
+
+Instances are registered as ``$function`` stages so engines invoke them
+from inside the aggregation pipeline exactly as the paper's custom
+JavaScript functions do.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.docstore.documents import deep_get
+from repro.search.indexing import FIELD_WEIGHTS
+from repro.search.query import ParsedQuery
+from repro.text.stemmer import stem
+from repro.text.tfidf import TfIdfModel
+from repro.text.tokenizer import tokenize
+
+#: Weight of the proximity bonus relative to TF-IDF matter.
+PROXIMITY_WEIGHT = 2.0
+#: Weight of static (query-independent) document features.
+STATIC_WEIGHT = 0.1
+
+
+def min_window(positions_per_term: list[list[int]]) -> int | None:
+    """Smallest token window covering one position of every term.
+
+    Returns None when any term has no positions.
+    """
+    if not positions_per_term or any(not p for p in positions_per_term):
+        return None
+    if len(positions_per_term) == 1:
+        return 1
+    events = sorted(
+        (position, term_index)
+        for term_index, positions in enumerate(positions_per_term)
+        for position in positions
+    )
+    counts = [0] * len(positions_per_term)
+    covered = 0
+    best: int | None = None
+    left = 0
+    for right, (right_pos, right_term) in enumerate(events):
+        if counts[right_term] == 0:
+            covered += 1
+        counts[right_term] += 1
+        while covered == len(counts):
+            left_pos, left_term = events[left]
+            window = right_pos - left_pos + 1
+            if best is None or window < best:
+                best = window
+            counts[left_term] -= 1
+            if counts[left_term] == 0:
+                covered -= 1
+            left += 1
+    return best
+
+
+class RankingFunction:
+    """TF-IDF + proximity + field-weight + static-feature ranking.
+
+    With a :class:`~repro.search.synonyms.SynonymExpander` attached, each
+    query term also contributes down-weighted TF-IDF mass for its
+    synonyms ("the ranking function incorporates matching terms and
+    synonyms") — a document saying "immunization" gains score for the
+    query "vaccine", below what a literal match earns.
+    """
+
+    def __init__(self, tfidf: TfIdfModel,
+                 field_weights: dict[str, float] | None = None,
+                 expander=None) -> None:
+        self.tfidf = tfidf
+        self.field_weights = dict(field_weights or FIELD_WEIGHTS)
+        self.expander = expander
+
+    # -- per-field machinery ------------------------------------------------
+
+    def _term_positions(self, parsed: ParsedQuery,
+                        tokens: list[str]) -> list[list[int]]:
+        stemmed_tokens = [stem(token) for token in tokens]
+        positions = []
+        for term in parsed.terms:
+            if term.exact:
+                words = term.text.split()
+                first = words[0].lower()
+                hits = [
+                    i for i, token in enumerate(tokens)
+                    if token == first
+                    and tokens[i:i + len(words)] == [
+                        w.lower() for w in words
+                    ]
+                ]
+            else:
+                target = stem(term.text)
+                hits = [
+                    i for i, token_stem in enumerate(stemmed_tokens)
+                    if token_stem == target
+                ]
+            positions.append(hits)
+        return positions
+
+    def field_score(self, parsed: ParsedQuery, text: str) -> float:
+        """TF-IDF mass of the query terms inside one field's text.
+
+        Quoted (exact) terms never expand to synonyms — the user asked
+        for that literal phrase.
+        """
+        if not text:
+            return 0.0
+        stemmed_tokens = [stem(token) for token in tokenize(text)]
+        score = 0.0
+        for term in parsed.terms:
+            for word in term.text.split():
+                score += self.tfidf.tfidf(stem(word), stemmed_tokens)
+            if self.expander is None or term.exact:
+                continue
+            for synonym, weight in self.expander.expand(term.text):
+                for word in synonym.split():
+                    score += weight * self.tfidf.tfidf(
+                        stem(word), stemmed_tokens
+                    )
+        return score
+
+    def proximity_bonus(self, parsed: ParsedQuery, text: str) -> float:
+        """1/window bonus; 0 when not every term occurs in the text."""
+        if len(parsed.terms) < 2 or not text:
+            return 0.0
+        tokens = tokenize(text)
+        window = min_window(self._term_positions(parsed, tokens))
+        if window is None:
+            return 0.0
+        return 1.0 / window
+
+    def static_score(self, document: dict[str, Any]) -> float:
+        """Query-independent document weight."""
+        year = deep_get(document, "static_rank.year", 2020) or 2020
+        num_tables = deep_get(document, "static_rank.num_tables", 0) or 0
+        recency = max(0, int(year) - 2019)
+        return recency + 0.5 * min(num_tables, 4)
+
+    # -- document-level score -------------------------------------------------
+
+    def score(self, parsed: ParsedQuery, document: dict[str, Any],
+              fields: list[str] | None = None) -> float:
+        """The full ranking score of ``document`` for ``parsed``."""
+        fields = fields or list(self.field_weights)
+        total = 0.0
+        best_proximity = 0.0
+        for field in fields:
+            text = deep_get(document, field, "") or ""
+            if isinstance(text, list):
+                text = " ".join(str(part) for part in text)
+            weight = self.field_weights.get(field, 1.0)
+            total += weight * self.field_score(parsed, text)
+            best_proximity = max(
+                best_proximity, self.proximity_bonus(parsed, text)
+            )
+        total += PROXIMITY_WEIGHT * best_proximity
+        total += STATIC_WEIGHT * self.static_score(document)
+        return total
+
+    def scorer(self, parsed: ParsedQuery,
+               fields: list[str] | None = None):
+        """A single-argument callable for ``$function`` registration."""
+        def rank(document: dict[str, Any]) -> float:
+            return self.score(parsed, document, fields)
+        return rank

@@ -1,0 +1,25 @@
+"""Table substrate: models, HTML parsing, orientation, positional features.
+
+CORD-19 ships raw HTML table fragments; the paper builds "an additional
+HTML table parser and post-processor that takes raw HTML fragments from
+CORD-19 and converts them to semi-structured, clean JSON" (Section 3.1),
+then derives positional features (Section 3.5) for metadata classification.
+"""
+
+from repro.tables.features import POSITIONAL_FEATURE_NAMES, RowFeatures, row_features
+from repro.tables.html_parser import parse_html_table, parse_html_tables
+from repro.tables.model import Cell, Row, Table
+from repro.tables.orientation import Orientation, detect_orientation
+
+__all__ = [
+    "POSITIONAL_FEATURE_NAMES",
+    "RowFeatures",
+    "row_features",
+    "parse_html_table",
+    "parse_html_tables",
+    "Cell",
+    "Row",
+    "Table",
+    "Orientation",
+    "detect_orientation",
+]

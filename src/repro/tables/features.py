@@ -1,0 +1,79 @@
+"""Positional feature extraction (paper Section 3.5).
+
+For each table row the paper builds a 7-feature vector
+``{f1, ..., f7}``:
+
+* ``f1`` — the row text after numeric substitution (the pre-processing of
+  Section 3.4); this is the lexical part of the vector,
+* ``f2`` — the number of cells in the row,
+* ``f3`` — binary: does a row exist *above* this row,
+* ``f4`` — binary: does a row exist *below* this row,
+* ``f5`` — the total number of cells in the row above (0 when absent),
+* ``f6`` — the total number of cells in the row below (0 when absent),
+* ``f7`` — the boolean metadata label (``None`` for unlabeled instances).
+
+``f3..f7`` are collectively the *positional* features.  The SVM consumes
+``f2..f6`` plus a hashed bag-of-words summary of ``f1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tables.model import Table
+from repro.text.normalize import NumericNormalizer
+
+#: Names of the numeric positional features, in vector order.
+POSITIONAL_FEATURE_NAMES = ("f2_num_cells", "f3_has_above", "f4_has_below",
+                            "f5_cells_above", "f6_cells_below")
+
+_normalizer = NumericNormalizer()
+
+
+@dataclass(frozen=True)
+class RowFeatures:
+    """The Section 3.5 feature vector for one table row."""
+
+    f1_text: str
+    f2_num_cells: int
+    f3_has_above: bool
+    f4_has_below: bool
+    f5_cells_above: int
+    f6_cells_below: int
+    f7_is_metadata: bool | None
+
+    @property
+    def positional(self) -> list[float]:
+        """The numeric positional part ``[f2..f6]`` as floats."""
+        return [
+            float(self.f2_num_cells),
+            1.0 if self.f3_has_above else 0.0,
+            1.0 if self.f4_has_below else 0.0,
+            float(self.f5_cells_above),
+            float(self.f6_cells_below),
+        ]
+
+
+def row_features(table: Table, row_index: int) -> RowFeatures:
+    """Extract the feature vector for row ``row_index`` of ``table``."""
+    rows = table.rows
+    row = rows[row_index]
+    above = rows[row_index - 1] if row_index > 0 else None
+    below = rows[row_index + 1] if row_index + 1 < len(rows) else None
+    normalized = " ".join(
+        _normalizer.normalize(cell.text) for cell in row.cells
+    )
+    return RowFeatures(
+        f1_text=normalized,
+        f2_num_cells=len(row),
+        f3_has_above=above is not None,
+        f4_has_below=below is not None,
+        f5_cells_above=len(above) if above is not None else 0,
+        f6_cells_below=len(below) if below is not None else 0,
+        f7_is_metadata=row.is_metadata,
+    )
+
+
+def table_features(table: Table) -> list[RowFeatures]:
+    """Feature vectors for every row of ``table``."""
+    return [row_features(table, index) for index in range(len(table.rows))]

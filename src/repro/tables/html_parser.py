@@ -1,0 +1,221 @@
+"""HTML table fragment parser and post-processor (paper Section 3.1).
+
+Built on :class:`html.parser.HTMLParser` from the standard library — no
+external dependency.  The parser handles the structures that actually occur
+in CORD-19 fragments:
+
+* ``<table>``, ``<thead>``/``<tbody>``/``<tfoot>``, ``<tr>``, ``<td>``/``<th>``,
+* ``colspan``/``rowspan`` (spanned cells are *expanded*, duplicating the
+  text into every covered grid slot, so downstream feature extraction sees
+  a rectangular grid),
+* ``<caption>`` elements,
+* nested inline markup inside cells (``<b>``, ``<sub>``, ``<br>``, ...),
+* entity references (``&amp;`` etc., handled by ``convert_charrefs``).
+
+The post-processor then cleans whitespace and drops fully-empty rows,
+producing the "semi-structured, clean JSON" :class:`~repro.tables.model.Table`.
+"""
+
+from __future__ import annotations
+
+import re
+from html.parser import HTMLParser
+
+from repro.errors import ParseError
+from repro.tables.model import Cell, Row, Table
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def _clean(text: str) -> str:
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+class _RawCell:
+    __slots__ = ("parts", "colspan", "rowspan", "is_header")
+
+    def __init__(self, colspan: int, rowspan: int, is_header: bool) -> None:
+        self.parts: list[str] = []
+        self.colspan = colspan
+        self.rowspan = rowspan
+        self.is_header = is_header
+
+    @property
+    def text(self) -> str:
+        return _clean("".join(self.parts))
+
+
+class _TableHTMLParser(HTMLParser):
+    """Event-driven extraction of every ``<table>`` in a fragment."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.tables: list[list[list[_RawCell]]] = []
+        self.captions: list[str] = []
+        self._table_depth = 0
+        self._current_rows: list[list[_RawCell]] | None = None
+        self._current_row: list[_RawCell] | None = None
+        self._current_cell: _RawCell | None = None
+        self._caption_parts: list[str] | None = None
+        self._current_caption = ""
+
+    @staticmethod
+    def _int_attr(attrs: list[tuple[str, str | None]], name: str) -> int:
+        for key, value in attrs:
+            if key == name and value:
+                try:
+                    return max(1, int(value))
+                except ValueError:
+                    return 1
+        return 1
+
+    def handle_starttag(self, tag: str,
+                        attrs: list[tuple[str, str | None]]) -> None:
+        if tag == "table":
+            self._table_depth += 1
+            if self._table_depth == 1:
+                self._current_rows = []
+                self._current_caption = ""
+            return
+        if self._table_depth != 1:
+            return  # ignore content of nested tables beyond depth 1
+        if tag == "caption":
+            self._caption_parts = []
+        elif tag == "tr":
+            self._flush_row()
+            self._current_row = []
+        elif tag in ("td", "th"):
+            self._flush_cell()
+            if self._current_row is None:
+                self._current_row = []  # tolerate missing <tr>
+            self._current_cell = _RawCell(
+                colspan=self._int_attr(attrs, "colspan"),
+                rowspan=self._int_attr(attrs, "rowspan"),
+                is_header=(tag == "th"),
+            )
+        elif tag == "br" and self._current_cell is not None:
+            self._current_cell.parts.append(" ")
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "table":
+            if self._table_depth == 1:
+                self._flush_row()
+                if self._current_rows is not None:
+                    self.tables.append(self._current_rows)
+                    self.captions.append(self._current_caption)
+                self._current_rows = None
+            self._table_depth = max(0, self._table_depth - 1)
+        elif self._table_depth != 1:
+            return
+        elif tag == "caption":
+            if self._caption_parts is not None:
+                self._current_caption = _clean("".join(self._caption_parts))
+            self._caption_parts = None
+        elif tag == "tr":
+            self._flush_row()
+        elif tag in ("td", "th"):
+            self._flush_cell()
+
+    def handle_data(self, data: str) -> None:
+        if self._table_depth != 1:
+            return
+        if self._caption_parts is not None:
+            self._caption_parts.append(data)
+        elif self._current_cell is not None:
+            self._current_cell.parts.append(data)
+
+    def _flush_cell(self) -> None:
+        if self._current_cell is not None and self._current_row is not None:
+            self._current_row.append(self._current_cell)
+        self._current_cell = None
+
+    def _flush_row(self) -> None:
+        self._flush_cell()
+        if self._current_row is not None and self._current_rows is not None:
+            if self._current_row:
+                self._current_rows.append(self._current_row)
+        self._current_row = None
+
+
+def _expand_grid(raw_rows: list[list[_RawCell]]) -> list[Row]:
+    """Expand colspan/rowspan into a rectangular grid of cells."""
+    grid: list[list[Cell | None]] = []
+    pending: dict[tuple[int, int], Cell] = {}  # (row, col) -> carried cell
+
+    for row_index, raw_row in enumerate(raw_rows):
+        row_cells: list[Cell | None] = []
+        col = 0
+
+        def place(cell: Cell) -> None:
+            nonlocal col
+            while pending.get((row_index, col)) is not None:
+                row_cells.append(pending.pop((row_index, col)))
+                col += 1
+            row_cells.append(cell)
+            col += 1
+
+        for raw in raw_row:
+            cell = Cell(
+                text=raw.text,
+                colspan=raw.colspan,
+                rowspan=raw.rowspan,
+                is_header=raw.is_header,
+            )
+            for span_col in range(raw.colspan):
+                place(cell)
+                # Register rowspan carries for the columns this cell covers.
+                for extra_row in range(1, raw.rowspan):
+                    pending[(row_index + extra_row, col - 1)] = cell
+                del span_col
+        # Trailing rowspan carries at the end of the row.
+        while pending.get((row_index, col)) is not None:
+            row_cells.append(pending.pop((row_index, col)))
+            col += 1
+        grid.append(row_cells)
+
+    rows = []
+    for row_cells in grid:
+        cells = [cell for cell in row_cells if cell is not None]
+        if any(cell.text for cell in cells):
+            rows.append(Row(cells=list(cells)))
+    return rows
+
+
+def parse_html_tables(fragment: str, paper_id: str | None = None
+                      ) -> list[Table]:
+    """Parse every ``<table>`` in an HTML fragment into clean tables.
+
+    Raises :class:`~repro.errors.ParseError` when no table is present.
+    """
+    parser = _TableHTMLParser()
+    parser.feed(fragment or "")
+    parser.close()
+    if not parser.tables:
+        raise ParseError("no <table> element found in fragment")
+    tables = []
+    for index, (raw_rows, caption) in enumerate(
+        zip(parser.tables, parser.captions)
+    ):
+        rows = _expand_grid(raw_rows)
+        # Rows made exclusively of <th> cells are header (metadata) rows —
+        # the cheap structural label the post-processor can assign itself.
+        for row in rows:
+            if row.cells and all(cell.is_header for cell in row.cells):
+                row.is_metadata = True
+        tables.append(Table(
+            rows=rows,
+            caption=caption,
+            paper_id=paper_id,
+            table_id=f"t{index}",
+        ))
+    return tables
+
+
+def parse_html_table(fragment: str, paper_id: str | None = None) -> Table:
+    """Parse a fragment expected to contain exactly one table."""
+    tables = parse_html_tables(fragment, paper_id=paper_id)
+    if len(tables) > 1:
+        raise ParseError(
+            f"fragment contains {len(tables)} tables; use parse_html_tables"
+        )
+    return tables[0]

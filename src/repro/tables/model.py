@@ -1,0 +1,159 @@
+"""Table data model: cells, rows, tables with clean JSON (de)serialization.
+
+A :class:`Table` is the "semi-structured, clean JSON" form the paper's
+post-processor emits.  Rows optionally carry ground-truth metadata labels
+(``is_metadata``) used to train and evaluate the classifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import ParseError
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One table cell: its text plus span information from the HTML."""
+
+    text: str
+    colspan: int = 1
+    rowspan: int = 1
+    is_header: bool = False
+
+    def to_json(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"text": self.text}
+        if self.colspan != 1:
+            data["colspan"] = self.colspan
+        if self.rowspan != 1:
+            data["rowspan"] = self.rowspan
+        if self.is_header:
+            data["is_header"] = True
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any] | str) -> "Cell":
+        if isinstance(data, str):
+            return cls(text=data)
+        return cls(
+            text=data.get("text", ""),
+            colspan=int(data.get("colspan", 1)),
+            rowspan=int(data.get("rowspan", 1)),
+            is_header=bool(data.get("is_header", False)),
+        )
+
+
+@dataclass
+class Row:
+    """One table row; ``is_metadata`` is the classification target."""
+
+    cells: list[Cell]
+    is_metadata: bool | None = None
+
+    @classmethod
+    def from_texts(cls, texts: list[str],
+                   is_metadata: bool | None = None) -> "Row":
+        return cls([Cell(text) for text in texts], is_metadata=is_metadata)
+
+    @property
+    def texts(self) -> list[str]:
+        return [cell.text for cell in self.cells]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def to_json(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "cells": [cell.to_json() for cell in self.cells],
+        }
+        if self.is_metadata is not None:
+            data["is_metadata"] = self.is_metadata
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Row":
+        return cls(
+            cells=[Cell.from_json(cell) for cell in data.get("cells", [])],
+            is_metadata=data.get("is_metadata"),
+        )
+
+
+@dataclass
+class Table:
+    """A parsed table: caption, rows, and provenance back to its paper."""
+
+    rows: list[Row] = field(default_factory=list)
+    caption: str = ""
+    paper_id: str | None = None
+    table_id: str | None = None
+
+    @classmethod
+    def from_grid(cls, grid: list[list[str]], caption: str = "",
+                  header_rows: int = 0, **kwargs: Any) -> "Table":
+        """Build a table from a plain grid of strings.
+
+        The first ``header_rows`` rows are labeled metadata, the rest data.
+        """
+        rows = []
+        for index, texts in enumerate(grid):
+            rows.append(Row.from_texts(texts, is_metadata=index < header_rows))
+        return cls(rows=rows, caption=caption, **kwargs)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_columns(self) -> int:
+        return max((len(row) for row in self.rows), default=0)
+
+    def row_texts(self) -> list[list[str]]:
+        return [row.texts for row in self.rows]
+
+    def column(self, index: int) -> list[str]:
+        """The texts of column ``index`` (empty string where a row is short)."""
+        if index < 0 or index >= self.num_columns:
+            raise ParseError(f"column {index} out of range")
+        return [
+            row.cells[index].text if index < len(row.cells) else ""
+            for row in self.rows
+        ]
+
+    def transposed(self) -> "Table":
+        """Column-major view, used for vertical (attribute-in-column) tables."""
+        columns = [self.column(i) for i in range(self.num_columns)]
+        rows = [Row.from_texts(column) for column in columns]
+        return Table(rows=rows, caption=self.caption,
+                     paper_id=self.paper_id, table_id=self.table_id)
+
+    def all_text(self) -> str:
+        """Caption plus every cell, for indexing by the table search engine."""
+        parts = [self.caption] if self.caption else []
+        for row in self.rows:
+            parts.extend(cell.text for cell in row.cells if cell.text)
+        return " ".join(parts)
+
+    def iter_cells(self) -> Iterator[Cell]:
+        for row in self.rows:
+            yield from row.cells
+
+    def to_json(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "caption": self.caption,
+            "rows": [row.to_json() for row in self.rows],
+        }
+        if self.paper_id is not None:
+            data["paper_id"] = self.paper_id
+        if self.table_id is not None:
+            data["table_id"] = self.table_id
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Table":
+        return cls(
+            rows=[Row.from_json(row) for row in data.get("rows", [])],
+            caption=data.get("caption", ""),
+            paper_id=data.get("paper_id"),
+            table_id=data.get("table_id"),
+        )

@@ -1,0 +1,28 @@
+"""Text/NLP substrate: tokenization, stemming, numeric normalization,
+vocabulary construction and TF-IDF weighting.
+
+These utilities underpin both the advanced search engines (Section 2.1 of
+the paper) and the table-metadata classification pre-processing
+(Section 3.4).
+"""
+
+from repro.text.normalize import NumericNormalizer, normalize_tuple
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tfidf import TfIdfModel
+from repro.text.tokenizer import sentences, tokenize, tokenize_query
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "NumericNormalizer",
+    "normalize_tuple",
+    "PorterStemmer",
+    "stem",
+    "STOPWORDS",
+    "is_stopword",
+    "TfIdfModel",
+    "sentences",
+    "tokenize",
+    "tokenize_query",
+    "Vocabulary",
+]

@@ -1,0 +1,143 @@
+"""Numeric normalization of table cells (paper Section 3.4).
+
+Table tuples are full of numbers whose exact values carry little signal for
+the data-vs-metadata decision, while their *form* (integer, small float,
+range, percentage, date, unit-qualified quantity) carries a lot.  The paper
+therefore substitutes numeric spans with categorical placeholder keywords
+before feeding tuples to the classifiers.  The substitution rules, in the
+order the paper specifies (order matters: ``0`` inside ``50`` must not
+trigger the ZERO rule, and ``0.5%`` must become ``SMALLPOS PERCENT`` while
+``5%`` becomes ``INT PERCENT``):
+
+1. zeros (integer and decimal forms)            -> ``ZERO``
+2. arithmetic ranges (``5-10``)                 -> ``RANGE`` (units kept)
+3. negative integers                            -> ``NEG``
+4. positive numbers below one (``0.37``)        -> ``SMALLPOS``
+5. remaining decimals                           -> ``FLOAT``
+6. remaining integers                           -> ``INT``
+7. ``%``                                        -> ``PERCENT``
+8. worded dates (``March 12, 2020``)            -> ``DATE``  (mm/dd/yy is
+   deliberately *not* handled, matching the paper)
+9. ``<`` / ``>``                                -> ``LESS`` / ``GREATER``
+10. numbers followed by the frequent units time/ml/mg/kg -> descriptive
+    keywords (``HOURS``, ``MILLILITERS``, ``MILLIGRAMS``, ``KILOGRAMS``)
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+_MONTHS = (
+    "january|february|march|april|may|june|july|august|september|october"
+    "|november|december|jan|feb|mar|apr|jun|jul|aug|sep|sept|oct|nov|dec"
+)
+
+# A number: optional sign, digits, optional decimal part.
+_NUM = r"\d+(?:\.\d+)?"
+
+_UNIT_KEYWORDS = {
+    "h": "HOURS", "hr": "HOURS", "hrs": "HOURS", "hour": "HOURS",
+    "hours": "HOURS", "min": "MINUTES", "mins": "MINUTES",
+    "minute": "MINUTES", "minutes": "MINUTES", "s": "SECONDS",
+    "sec": "SECONDS", "secs": "SECONDS", "second": "SECONDS",
+    "seconds": "SECONDS", "day": "DAYS", "days": "DAYS",
+    "week": "WEEKS", "weeks": "WEEKS", "month": "MONTHS",
+    "months": "MONTHS", "year": "YEARS", "years": "YEARS",
+    "ml": "MILLILITERS", "mls": "MILLILITERS",
+    "mg": "MILLIGRAMS", "mgs": "MILLIGRAMS",
+    "kg": "KILOGRAMS", "kgs": "KILOGRAMS",
+}
+
+_UNIT_ALTERNATION = "|".join(sorted(_UNIT_KEYWORDS, key=len, reverse=True))
+
+
+class NumericNormalizer:
+    """Apply the Section 3.4 substitution rules to free text or cells.
+
+    The rules are compiled once per instance; :meth:`normalize` applies
+    them in the paper's order.
+
+    >>> NumericNormalizer().normalize("5-10 mg twice, 0.5% of 120 patients")
+    'RANGE MILLIGRAMS twice, SMALLPOS PERCENT of INT patients'
+    """
+
+    def __init__(self) -> None:
+        def _unit_sub(match: re.Match[str]) -> str:
+            prefix = "RANGE " if match.group(1) == "RANGE" else ""
+            return prefix + _UNIT_KEYWORDS[match.group(2).lower()]
+
+        self._rules: list[tuple[re.Pattern[str], object]] = [
+            # Worded dates first so their day/year digits are not rewritten.
+            (
+                re.compile(
+                    rf"\b(?:{_MONTHS})\.?\s+\d{{1,2}}(?:\s*,\s*\d{{2,4}})?\b"
+                    rf"|\b\d{{1,2}}\s+(?:{_MONTHS})\.?(?:\s*,?\s*\d{{2,4}})?\b",
+                    re.IGNORECASE,
+                ),
+                "DATE",
+            ),
+            # Ranges: 5-10 / 5 - 10 / 5–10.  Units after the range are kept
+            # for the unit rule below, per the paper.
+            (
+                re.compile(rf"\b{_NUM}\s*[-–—]\s*{_NUM}\b"),
+                "RANGE",
+            ),
+            # Unit-qualified quantities (and units trailing a RANGE).
+            (
+                re.compile(
+                    rf"\b(RANGE|{_NUM})\s*({_UNIT_ALTERNATION})\b",
+                    re.IGNORECASE,
+                ),
+                _unit_sub,
+            ),
+            # Zeros, both integer and decimal form, not inside other numbers.
+            (
+                re.compile(r"(?<![\d.])0+(?:\.0+)?(?![\d.])"),
+                "ZERO",
+            ),
+            # Negative integers/decimals: a true minus, not a hyphen inside
+            # a word like "covid-19" or a range (ranges were rewritten).
+            (
+                re.compile(rf"(?<![\w.\d-])-{_NUM}\b"),
+                "NEG",
+            ),
+            # Positive numbers strictly below one.
+            (
+                re.compile(r"(?<![\d.])0\.\d+(?![\d.])"),
+                "SMALLPOS",
+            ),
+            # Remaining decimals, then remaining integers.  The hyphen in
+            # the lookbehind keeps hyphenated terms ("covid-19") intact.
+            (
+                re.compile(r"(?<![\d.\w-])\d+\.\d+(?![\d.])"),
+                "FLOAT",
+            ),
+            (
+                re.compile(r"(?<![\d.\w-])\d+(?![\d.\w])"),
+                "INT",
+            ),
+            (re.compile(r"%"), " PERCENT"),
+            (re.compile(r"<"), " LESS "),
+            (re.compile(r">"), " GREATER "),
+        ]
+
+    def normalize(self, text: str) -> str:
+        """Return ``text`` with every numeric span replaced by its keyword."""
+        if not text:
+            return ""
+        for pattern, replacement in self._rules:
+            text = pattern.sub(replacement, text)
+        return re.sub(r"\s+", " ", text).strip()
+
+    def normalize_cells(self, cells: Iterable[str]) -> list[str]:
+        """Normalize each cell of a table row independently."""
+        return [self.normalize(cell) for cell in cells]
+
+
+_DEFAULT = NumericNormalizer()
+
+
+def normalize_tuple(cells: Iterable[str]) -> list[str]:
+    """Normalize a table tuple with a shared :class:`NumericNormalizer`."""
+    return _DEFAULT.normalize_cells(cells)

@@ -1,0 +1,94 @@
+"""Tokenizers for corpus text and user queries.
+
+The search engines (paper Section 2.1) support two query styles:
+
+* plain terms, which are stemmed and matched loosely, and
+* quoted phrases (``"mechanical ventilation"``), which are matched exactly.
+
+:func:`tokenize_query` preserves that distinction by returning
+:class:`QueryToken` objects carrying an ``exact`` flag.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# A word is a run of letters/digits possibly joined by internal hyphens,
+# apostrophes, slashes, or dots (so "COVID-19", "mm/dd/yy" and "3.5" survive
+# as single tokens).
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:[-'/.][A-Za-z0-9]+)*")
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9])")
+_QUOTED_RE = re.compile(r'"([^"]*)"')
+
+
+def tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word tokens.
+
+    >>> tokenize("COVID-19 vaccine side-effects, 3.5% of cases!")
+    ['covid-19', 'vaccine', 'side-effects', '3.5', 'of', 'cases']
+    """
+    if not text:
+        return []
+    tokens = _WORD_RE.findall(text)
+    if lowercase:
+        tokens = [token.lower() for token in tokens]
+    return tokens
+
+
+def sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences on terminal punctuation.
+
+    The splitter is intentionally simple: it is only used for snippet
+    extraction, where an occasional bad split merely widens an excerpt.
+    """
+    if not text:
+        return []
+    parts = _SENTENCE_RE.split(text.strip())
+    return [part.strip() for part in parts if part.strip()]
+
+
+@dataclass(frozen=True)
+class QueryToken:
+    """One unit of a parsed query.
+
+    Attributes:
+        text: the token or phrase, lowercased.
+        exact: True when the user quoted it, demanding exact match.
+    """
+
+    text: str
+    exact: bool = False
+
+    @property
+    def words(self) -> list[str]:
+        """Component words of the token (phrases contain several)."""
+        return tokenize(self.text)
+
+
+def tokenize_query(query: str) -> list[QueryToken]:
+    """Parse a user query into exact phrases and loose terms.
+
+    Quoted spans become single ``exact`` tokens; everything outside quotes
+    is tokenized into loose terms, which the engines stem before matching.
+
+    >>> tokenize_query('masks "mechanical ventilation" icu')
+    ... # doctest: +NORMALIZE_WHITESPACE
+    [QueryToken(text='masks', exact=False),
+     QueryToken(text='mechanical ventilation', exact=True),
+     QueryToken(text='icu', exact=False)]
+    """
+    if not query:
+        return []
+    tokens: list[QueryToken] = []
+    cursor = 0
+    for match in _QUOTED_RE.finditer(query):
+        for word in tokenize(query[cursor : match.start()]):
+            tokens.append(QueryToken(word, exact=False))
+        phrase = match.group(1).strip().lower()
+        if phrase:
+            tokens.append(QueryToken(phrase, exact=True))
+        cursor = match.end()
+    for word in tokenize(query[cursor:]):
+        tokens.append(QueryToken(word, exact=False))
+    return tokens

@@ -1,0 +1,169 @@
+"""Tests for system persistence, model serialization, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.api.persistence import load_system, save_system
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.classify.dataset import MetadataDataset
+from repro.classify.svm_model import SvmMetadataClassifier
+from repro.cli import main
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.embeddings.word2vec import Word2Vec
+from repro.errors import NotFittedError, PersistenceError
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(GeneratorConfig(
+        seed=51, tables_per_paper=(1, 2),
+    )).papers(24)
+
+
+@pytest.fixture(scope="module")
+def built_system(corpus):
+    system = CovidKG(CovidKGConfig(num_shards=2, vocabulary_size=10_000,
+                                   wdc_training_tables=20, seed=5))
+    system.train(corpus[:10], word2vec_epochs=1)
+    system.ingest(corpus)
+    return system
+
+
+class TestVocabularySerialization:
+    def test_roundtrip(self):
+        vocab = Vocabulary.from_texts(["fever cough fever", "rash"],
+                                      drop_stopwords=False)
+        restored = Vocabulary.from_json(vocab.to_json())
+        assert restored.terms == vocab.terms
+        assert restored.count_of("fever") == 2
+
+
+class TestWord2VecSerialization:
+    def test_roundtrip(self, tmp_path):
+        sentences = ["vaccine dose antibody"] * 20
+        vocab = Vocabulary.from_texts(sentences, drop_stopwords=False)
+        model = Word2Vec(vocab, dim=8, seed=1).fit(sentences, epochs=2)
+        model.save(tmp_path / "w2v.npz")
+        restored = Word2Vec.load(tmp_path / "w2v.npz")
+        np.testing.assert_array_equal(
+            restored.vector("vaccine"), model.vector("vaccine")
+        )
+        assert restored.dim == 8
+        # Restored models can keep fine-tuning.
+        restored.fit(sentences, epochs=1, fine_tune=True)
+
+    def test_untrained_save_rejected(self, tmp_path):
+        vocab = Vocabulary.from_texts(["a b"], drop_stopwords=False)
+        with pytest.raises(NotFittedError):
+            Word2Vec(vocab).save(tmp_path / "x.npz")
+
+
+class TestClassifierSerialization:
+    def test_roundtrip_predictions_identical(self, tmp_path):
+        dataset = MetadataDataset.from_wdc(20, seed=7)
+        model = SvmMetadataClassifier(seed=7).fit(dataset)
+        model.save(tmp_path / "clf.npz")
+        restored = SvmMetadataClassifier.load(tmp_path / "clf.npz")
+        np.testing.assert_array_equal(
+            restored.predict(dataset), model.predict(dataset)
+        )
+
+    def test_untrained_save_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            SvmMetadataClassifier().save(tmp_path / "x.npz")
+
+
+class TestSystemPersistence:
+    def test_roundtrip_preserves_queries(self, built_system, corpus,
+                                         tmp_path):
+        save_system(built_system, tmp_path / "sys")
+        restored = load_system(tmp_path / "sys")
+
+        assert len(restored.store) == len(built_system.store)
+        original = built_system.search("vaccine")
+        reloaded = restored.search("vaccine")
+        assert reloaded.total_matches == original.total_matches
+        # Scores must match exactly; ties may legally reorder after the
+        # reload (fresh document ids), so compare (score, id) as sets.
+        assert {
+            (round(r.score, 9), r.paper_id) for r in reloaded
+        } == {
+            (round(r.score, 9), r.paper_id) for r in original
+        }
+
+    def test_roundtrip_preserves_graph(self, built_system, tmp_path):
+        save_system(built_system, tmp_path / "sys2")
+        restored = load_system(tmp_path / "sys2")
+        assert restored.graph.statistics() == (
+            built_system.graph.statistics()
+        )
+        hits = restored.search_graph("vaccines")
+        assert hits and hits[0].rendered_path().startswith("COVID-19")
+
+    def test_restored_models_registered(self, built_system, tmp_path):
+        save_system(built_system, tmp_path / "sys3")
+        restored = load_system(tmp_path / "sys3")
+        assert "covidkg-word2vec" in restored.registry
+        assert "covidkg-metadata-svm" in restored.registry
+        assert restored.classifier is not None
+
+    def test_restored_system_can_keep_ingesting(self, built_system,
+                                                tmp_path):
+        save_system(built_system, tmp_path / "sys4")
+        restored = load_system(tmp_path / "sys4")
+        extra = CorpusGenerator(GeneratorConfig(
+            seed=99, tables_per_paper=(1, 1),
+        )).papers(3)
+        # Paper ids are a function of the index alone; disambiguate so
+        # they do not collide with the already-ingested corpus.
+        extra = [
+            {**paper, "paper_id": f"extra-{paper['paper_id']}"}
+            for paper in extra
+        ]
+        restored.ingest(extra)
+        assert len(restored.store) == len(built_system.store) + 3
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_system(tmp_path / "nothing")
+
+
+class TestCli:
+    def test_generate_build_query_cycle(self, tmp_path, capsys):
+        corpus_path = str(tmp_path / "corpus.jsonl")
+        system_path = str(tmp_path / "system")
+
+        assert main(["generate", "--papers", "15", "--seed", "3",
+                     "--out", corpus_path]) == 0
+        assert main(["build", "--corpus", corpus_path,
+                     "--out", system_path, "--shards", "2",
+                     "--epochs", "1"]) == 0
+        assert main(["search", "--system", system_path, "covid"]) == 0
+        assert main(["kg", "--system", system_path, "vaccines"]) == 0
+        assert main(["stats", "--system", system_path]) == 0
+        assert main(["bias", "--system", system_path,
+                     "--clusters", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "matches" in output
+        assert "COVID-19" in output
+        assert "topic balance" in output
+
+    def test_tables_command(self, tmp_path, capsys):
+        corpus_path = str(tmp_path / "corpus.jsonl")
+        system_path = str(tmp_path / "system")
+        main(["generate", "--papers", "12", "--seed", "4",
+              "--out", corpus_path])
+        main(["build", "--corpus", corpus_path, "--out", system_path,
+              "--epochs", "1"])
+        assert main(["tables", "--system", system_path,
+                     "efficacy"]) == 0
+
+    def test_kg_no_hits_exits_nonzero(self, tmp_path):
+        corpus_path = str(tmp_path / "corpus.jsonl")
+        system_path = str(tmp_path / "system")
+        main(["generate", "--papers", "10", "--out", corpus_path])
+        main(["build", "--corpus", corpus_path, "--out", system_path,
+              "--epochs", "1"])
+        assert main(["kg", "--system", system_path,
+                     "zzz-not-a-node"]) == 1

@@ -1,0 +1,262 @@
+"""Tests for the metadata-classification stack (Section 3 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.classify.bigru_model import NeuralMetadataClassifier
+from repro.classify.dataset import MetadataDataset
+from repro.classify.evaluate import evaluate_classifier_cv, evaluation_grid
+from repro.classify.svm_model import SvmMetadataClassifier, hashed_bag_of_words
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.errors import ModelError, NotFittedError
+from repro.tables.model import Table
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return MetadataDataset.from_wdc(40, seed=1).shuffled(seed=2)
+
+
+@pytest.fixture(scope="module")
+def vocab(dataset):
+    return Vocabulary.from_texts(dataset.texts(), drop_stopwords=False)
+
+
+class TestDataset:
+    def test_wdc_dataset_has_both_classes(self, dataset):
+        summary = dataset.balance_summary()
+        assert summary["metadata"] > 0
+        assert summary["data"] > summary["metadata"]
+
+    def test_each_table_contributes_one_metadata_line(self):
+        data = MetadataDataset.from_wdc(10, seed=3,
+                                        orientations=("horizontal",))
+        assert int(data.labels.sum()) == 10
+
+    def test_orientation_slicing(self, dataset):
+        horizontal = dataset.by_orientation("horizontal")
+        vertical = dataset.by_orientation("vertical")
+        assert len(horizontal) + len(vertical) == len(dataset)
+        assert len(horizontal) > 0 and len(vertical) > 0
+
+    def test_size_slicing(self, dataset):
+        small = dataset.by_size(max_rows=5)
+        large = dataset.by_size(min_rows=6)
+        assert len(small) + len(large) == len(dataset)
+
+    def test_from_papers(self):
+        papers = CorpusGenerator(
+            GeneratorConfig(seed=5, tables_per_paper=(1, 2))
+        ).papers(10)
+        data = MetadataDataset.from_papers(papers)
+        assert len(data) > 10
+        assert 0 < data.labels.sum() < len(data)
+
+    def test_from_table_skips_unlabeled_rows(self):
+        table = Table.from_grid([["h1", "h2"], ["a", "b"]])
+        table.rows[0].is_metadata = True  # row 1 stays None... no: from_grid
+        table.rows[1].is_metadata = None
+        data = MetadataDataset.from_table(table)
+        assert len(data) == 1
+
+    def test_require_both_classes(self):
+        table = Table.from_grid([["a", "b"]], header_rows=1)
+        with pytest.raises(ModelError):
+            MetadataDataset.from_table(table).require_both_classes()
+
+    def test_text_applies_normalization(self, dataset):
+        data_rows = [t for t in dataset if not t.label]
+        assert any(
+            keyword in row.text
+            for row in data_rows
+            for keyword in ("INT", "FLOAT", "MONEY", "$", "RANGE", "YEARS")
+        )
+
+
+class TestHashedBagOfWords:
+    def test_deterministic(self):
+        a = hashed_bag_of_words("vaccine dose INT", 32)
+        b = hashed_bag_of_words("vaccine dose INT", 32)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_texts_differ(self):
+        a = hashed_bag_of_words("vaccine dose", 64)
+        b = hashed_bag_of_words("ventilator icu", 64)
+        assert not np.array_equal(a, b)
+
+    def test_shape(self):
+        assert hashed_bag_of_words("x", 16).shape == (16,)
+
+
+class TestSvmClassifier:
+    def test_learns_wdc_metadata(self, dataset):
+        split = int(len(dataset) * 0.8)
+        train = dataset.subset(range(split))
+        test = dataset.subset(range(split, len(dataset)))
+        model = SvmMetadataClassifier(seed=1).fit(train)
+        predictions = model.predict(test)
+        accuracy = float(np.mean(predictions == test.labels))
+        assert accuracy > 0.9
+
+    def test_unfitted_raises(self, dataset):
+        with pytest.raises(NotFittedError):
+            SvmMetadataClassifier().predict(dataset)
+
+    def test_feature_mask_shrinks_vector(self, dataset):
+        full = SvmMetadataClassifier(text_hash_dim=8)
+        masked = SvmMetadataClassifier(
+            text_hash_dim=8,
+            feature_mask=(True, False, False, False, False),
+        )
+        assert (masked.feature_matrix(dataset).shape[1]
+                == full.feature_matrix(dataset).shape[1] - 4)
+
+    def test_invalid_mask_length(self):
+        with pytest.raises(ModelError):
+            SvmMetadataClassifier(feature_mask=(True, False))
+
+    def test_text_only_model_works(self, dataset):
+        model = SvmMetadataClassifier(
+            feature_mask=(False,) * 5, text_hash_dim=64, seed=2
+        ).fit(dataset)
+        assert 0 < model.predict(dataset).sum() < len(dataset)
+
+    def test_kernel_variant_trains(self, dataset):
+        small = dataset.subset(range(60))
+        model = SvmMetadataClassifier(kernel="rbf", epochs=5, seed=3)
+        model.fit(small)
+        assert model.predict(small).shape == (60,)
+
+
+class TestNeuralClassifier:
+    @pytest.fixture(scope="class")
+    def trained(self, dataset, vocab):
+        model = NeuralMetadataClassifier(
+            vocab, cell="gru", embed_dim=12, hidden=8,
+            max_terms=12, max_cells=6, seed=4,
+        )
+        train = dataset.subset(range(int(len(dataset) * 0.8)))
+        model.fit(train, epochs=6, batch_size=32)
+        return model
+
+    def test_learns_metadata(self, trained, dataset):
+        test = dataset.subset(range(int(len(dataset) * 0.8), len(dataset)))
+        predictions = trained.predict(test)
+        accuracy = float(np.mean(predictions == test.labels))
+        assert accuracy > 0.85
+
+    def test_probabilities_in_unit_interval(self, trained, dataset):
+        probs = trained.predict_proba(dataset.subset(range(10)))
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_unfitted_raises(self, dataset, vocab):
+        model = NeuralMetadataClassifier(vocab)
+        with pytest.raises(NotFittedError):
+            model.predict(dataset)
+
+    def test_lstm_variant_trains(self, dataset, vocab):
+        model = NeuralMetadataClassifier(
+            vocab, cell="lstm", embed_dim=8, hidden=6,
+            max_terms=8, max_cells=4, seed=5,
+        )
+        small = dataset.subset(range(64))
+        history = model.fit(small, epochs=2, batch_size=16)
+        assert len(history.losses) == 2
+        assert history.total_seconds > 0
+
+    def test_unknown_cell_rejected(self, vocab):
+        with pytest.raises(ModelError):
+            NeuralMetadataClassifier(vocab, cell="transformer")
+
+    def test_loss_decreases(self, dataset, vocab):
+        model = NeuralMetadataClassifier(
+            vocab, embed_dim=8, hidden=6, max_terms=8, max_cells=4, seed=6
+        )
+        history = model.fit(dataset.subset(range(96)), epochs=5,
+                            batch_size=32)
+        assert history.losses[-1] < history.losses[0]
+
+
+class TestEvaluation:
+    def test_cv_report_structure(self, dataset):
+        report = evaluate_classifier_cv(
+            lambda: SvmMetadataClassifier(epochs=5, seed=7),
+            dataset, num_folds=4,
+        )
+        assert len(report.folds) == 4
+        row = report.row()
+        assert set(row) == {"precision", "recall", "f1", "accuracy"}
+        assert report.std("f1") >= 0.0
+
+    def test_svm_reaches_paper_band_on_wdc(self, dataset):
+        report = evaluate_classifier_cv(
+            lambda: SvmMetadataClassifier(epochs=10, seed=8),
+            dataset, num_folds=5,
+        )
+        # Paper band is 89-96% F-measure.
+        assert report.mean("f1") > 0.85
+
+    def test_grid_keys(self, dataset):
+        grid = evaluation_grid(
+            lambda: SvmMetadataClassifier(epochs=5, seed=9),
+            dataset, num_folds=3,
+        )
+        assert "horizontal" in grid
+        assert "vertical" in grid
+        assert any(key.startswith("rows:") for key in grid)
+
+
+class TestEncoderModes:
+    """The A1 ablation's encoder variants through the public API."""
+
+    def test_gap_mode_trains_and_predicts(self, dataset, vocab):
+        model = NeuralMetadataClassifier(
+            vocab, mode="gap", embed_dim=8, max_terms=8, max_cells=4,
+            seed=8,
+        )
+        small = dataset.subset(range(80))
+        history = model.fit(small, epochs=3, batch_size=32)
+        assert history.losses[-1] < history.losses[0]
+        predictions = model.predict(small)
+        assert set(predictions.tolist()) <= {0, 1}
+
+    def test_uni_mode_trains(self, dataset, vocab):
+        model = NeuralMetadataClassifier(
+            vocab, mode="uni", embed_dim=8, hidden=6,
+            max_terms=8, max_cells=4, seed=9,
+        )
+        model.fit(dataset.subset(range(64)), epochs=2, batch_size=16)
+        assert model.predict(dataset.subset(range(16))).shape == (16,)
+
+    def test_unknown_mode_rejected(self, vocab):
+        with pytest.raises(ModelError):
+            NeuralMetadataClassifier(vocab, mode="transformer")
+
+    def test_gap_has_fewest_parameters(self, vocab):
+        kwargs = dict(embed_dim=8, hidden=6, max_terms=8, max_cells=4)
+        gap = NeuralMetadataClassifier(vocab, mode="gap", **kwargs)
+        uni = NeuralMetadataClassifier(vocab, mode="uni", **kwargs)
+        bi = NeuralMetadataClassifier(vocab, mode="bi", **kwargs)
+        assert gap.num_parameters() < uni.num_parameters()
+        assert uni.num_parameters() < bi.num_parameters()
+
+    def test_pretrained_vector_shape_enforced(self, vocab):
+        import numpy as np
+        with pytest.raises(ModelError):
+            NeuralMetadataClassifier(
+                vocab, embed_dim=8,
+                pretrained_vectors=np.zeros((len(vocab), 99)),
+            )
+
+    def test_pretrained_vectors_used_as_init(self, vocab):
+        import numpy as np
+        vectors = np.random.default_rng(0).normal(
+            size=(len(vocab), 8)
+        )
+        model = NeuralMetadataClassifier(
+            vocab, embed_dim=8, pretrained_vectors=vectors,
+        )
+        np.testing.assert_array_equal(
+            model.term_path.embedding.weights, vectors
+        )

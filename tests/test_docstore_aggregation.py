@@ -1,0 +1,236 @@
+"""Tests for the aggregation pipeline engine."""
+
+import pytest
+
+from repro.docstore.aggregation import (
+    AggregationPipeline,
+    aggregate,
+    evaluate_expression,
+)
+from repro.docstore.collection import Collection
+from repro.docstore.functions import FunctionRegistry
+from repro.errors import AggregationError
+
+DOCS = [
+    {"_id": 1, "title": "masks", "year": 2020, "cites": 50,
+     "tags": ["ppe", "cloth"]},
+    {"_id": 2, "title": "vaccines", "year": 2021, "cites": 120,
+     "tags": ["mrna"]},
+    {"_id": 3, "title": "variants", "year": 2021, "cites": 80,
+     "tags": ["mrna", "delta"]},
+    {"_id": 4, "title": "ventilators", "year": 2020, "cites": 10,
+     "tags": []},
+]
+
+
+def collection():
+    coll = Collection("agg")
+    coll.insert_many(DOCS)
+    return coll
+
+
+class TestMatchProject:
+    def test_match_filters(self):
+        result = aggregate(DOCS, [{"$match": {"year": 2021}}])
+        assert {d["_id"] for d in result} == {2, 3}
+
+    def test_project_inclusion(self):
+        result = aggregate(DOCS, [
+            {"$match": {"_id": 1}},
+            {"$project": {"title": 1, "_id": 0}},
+        ])
+        assert result.documents == [{"title": "masks"}]
+
+    def test_project_computed_field(self):
+        result = aggregate(DOCS, [
+            {"$match": {"_id": 1}},
+            {"$project": {"double_cites": {"$multiply": ["$cites", 2]},
+                          "_id": 0}},
+        ])
+        assert result.documents == [{"double_cites": 100.0}]
+
+    def test_add_fields(self):
+        result = aggregate(DOCS, [
+            {"$addFields": {"decade": {"$subtract": ["$year", 2020]}}},
+        ])
+        assert result.documents[0]["decade"] == 0
+        assert result.documents[1]["decade"] == 1
+
+
+class TestShaping:
+    def test_sort_skip_limit(self):
+        result = aggregate(DOCS, [
+            {"$sort": {"cites": -1}},
+            {"$skip": 1},
+            {"$limit": 2},
+        ])
+        assert [d["cites"] for d in result] == [80, 50]
+
+    def test_count(self):
+        result = aggregate(DOCS, [
+            {"$match": {"year": 2020}},
+            {"$count": "n"},
+        ])
+        assert result.documents == [{"n": 2}]
+
+    def test_unwind(self):
+        result = aggregate(DOCS, [
+            {"$match": {"_id": 3}},
+            {"$unwind": "$tags"},
+        ])
+        assert [d["tags"] for d in result] == ["mrna", "delta"]
+
+    def test_unwind_drops_empty_by_default(self):
+        result = aggregate(DOCS, [{"$unwind": "$tags"}])
+        assert all(d["_id"] != 4 for d in result)
+
+    def test_unwind_preserve_empty(self):
+        result = aggregate(DOCS, [
+            {"$unwind": {"path": "$tags",
+                         "preserveNullAndEmptyArrays": True}},
+        ])
+        assert any(d["_id"] == 4 for d in result)
+
+
+class TestGroup:
+    def test_group_sum_avg(self):
+        result = aggregate(DOCS, [
+            {"$group": {"_id": "$year",
+                        "total": {"$sum": "$cites"},
+                        "mean": {"$avg": "$cites"}}},
+            {"$sort": {"_id": 1}},
+        ])
+        assert result.documents == [
+            {"_id": 2020, "total": 60, "mean": 30.0},
+            {"_id": 2021, "total": 200, "mean": 100.0},
+        ]
+
+    def test_group_min_max_push(self):
+        result = aggregate(DOCS, [
+            {"$group": {"_id": None,
+                        "lo": {"$min": "$cites"},
+                        "hi": {"$max": "$cites"},
+                        "titles": {"$push": "$title"}}},
+        ])
+        doc = result.documents[0]
+        assert doc["lo"] == 10 and doc["hi"] == 120
+        assert len(doc["titles"]) == 4
+
+    def test_group_add_to_set_first_last(self):
+        result = aggregate(DOCS, [
+            {"$sort": {"_id": 1}},
+            {"$group": {"_id": "$year",
+                        "first_title": {"$first": "$title"},
+                        "last_title": {"$last": "$title"}}},
+            {"$sort": {"_id": 1}},
+        ])
+        assert result.documents[0]["first_title"] == "masks"
+        assert result.documents[0]["last_title"] == "ventilators"
+
+    def test_group_requires_id(self):
+        with pytest.raises(AggregationError):
+            aggregate(DOCS, [{"$group": {"x": {"$sum": 1}}}])
+
+
+class TestFunctionStage:
+    def test_function_stage_computes_per_document(self):
+        registry = FunctionRegistry()
+        registry.register("boost", lambda cites: cites * 10)
+        result = aggregate(DOCS, [
+            {"$function": {"name": "boost", "args": ["$cites"],
+                           "as": "boosted"}},
+            {"$match": {"boosted": {"$gte": 800}}},
+        ], registry)
+        assert {d["_id"] for d in result} == {2, 3}
+
+    def test_function_receives_root(self):
+        registry = FunctionRegistry()
+        registry.register("label", lambda doc: f"{doc['title']}-{doc['year']}")
+        result = aggregate(DOCS[:1], [
+            {"$function": {"name": "label", "as": "label"}},
+        ], registry)
+        assert result.documents[0]["label"] == "masks-2020"
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(AggregationError):
+            aggregate(DOCS, [{"$function": {"name": "missing"}}],
+                      FunctionRegistry())
+
+
+class TestExpressions:
+    REGISTRY = FunctionRegistry()
+
+    def ev(self, expr, doc):
+        return evaluate_expression(expr, doc, self.REGISTRY)
+
+    def test_field_reference(self):
+        assert self.ev("$a.b", {"a": {"b": 3}}) == 3
+
+    def test_arithmetic(self):
+        doc = {"x": 10, "y": 4}
+        assert self.ev({"$add": ["$x", "$y", 1]}, doc) == 15
+        assert self.ev({"$subtract": ["$x", "$y"]}, doc) == 6
+        assert self.ev({"$multiply": ["$x", 2]}, doc) == 20
+        assert self.ev({"$divide": ["$x", "$y"]}, doc) == 2.5
+
+    def test_divide_by_zero(self):
+        with pytest.raises(AggregationError):
+            self.ev({"$divide": [1, 0]}, {})
+
+    def test_concat_and_case(self):
+        doc = {"a": "Covid", "b": "KG"}
+        assert self.ev({"$concat": ["$a", "-", "$b"]}, doc) == "Covid-KG"
+        assert self.ev({"$toLower": "$a"}, doc) == "covid"
+        assert self.ev({"$toUpper": "$b"}, doc) == "KG"
+
+    def test_cond_and_ifnull(self):
+        doc = {"n": 5}
+        expr = {"$cond": [{"$gt": ["$n", 3]}, "big", "small"]}
+        assert self.ev(expr, doc) == "big"
+        assert self.ev({"$ifNull": ["$missing", "dflt"]}, doc) == "dflt"
+
+    def test_size_and_literal(self):
+        doc = {"tags": [1, 2, 3]}
+        assert self.ev({"$size": "$tags"}, doc) == 3
+        assert self.ev({"$literal": "$tags"}, doc) == "$tags"
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(AggregationError):
+            self.ev({"$nonsense": 1}, {})
+
+
+class TestPushdownAndStats:
+    def test_leading_match_uses_collection_index(self):
+        coll = collection()
+        coll.create_index("year")
+        coll.scan_count = 0
+        pipeline = AggregationPipeline([{"$match": {"year": 2021}}])
+        result = pipeline.run(coll)
+        assert len(result) == 2
+        assert coll.scan_count == 2  # indexed, not a full scan
+        assert result.stages[0].stage == "$match(indexed)"
+
+    def test_stage_stats_track_docs_in_out(self):
+        result = aggregate(DOCS, [
+            {"$match": {"year": 2021}},
+            {"$limit": 1},
+        ])
+        assert result.stages[0].docs_in == 4
+        assert result.stages[0].docs_out == 2
+        assert result.stages[1].docs_out == 1
+        assert result.total_seconds >= 0
+
+    def test_pipeline_does_not_mutate_source(self):
+        docs = [{"_id": 1, "v": 1}]
+        aggregate(docs, [{"$addFields": {"v": 99}}])
+        assert docs[0]["v"] == 1
+
+
+class TestValidation:
+    def test_unknown_stage_rejected_at_construction(self):
+        with pytest.raises(AggregationError):
+            AggregationPipeline([{"$flatten": {}}])
+
+    def test_multi_key_stage_rejected(self):
+        with pytest.raises(AggregationError):
+            AggregationPipeline([{"$match": {}, "$limit": 1}])

@@ -1,0 +1,189 @@
+"""Tests for the bias-interrogation module."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.kg.bias import (
+    BiasFlag,
+    BiasInterrogator,
+    BiasReport,
+    normalized_entropy,
+)
+from repro.kg.enrichment import EnrichmentPipeline
+from repro.kg.fusion import ExtractedSubtree, FusionEngine
+from repro.kg.matching import NodeMatcher
+from repro.kg.ontology import seed_covid_graph
+
+
+def make_paper(paper_id, journal="JAMA", topic="vaccines", tables=()):
+    return {
+        "paper_id": paper_id,
+        "title": f"{topic} study {paper_id}",
+        "abstract": f"a study of {topic}",
+        "authors": [{"first": "A", "last": "B"}],
+        "publish_time": "2021-01-01",
+        "journal": journal,
+        "body_text": [{"section": "Results", "text": f"about {topic}"}],
+        "tables": list(tables),
+        "figures": [],
+    }
+
+
+def side_effect_table(vaccine, rates):
+    rows = [{"cells": [{"text": "Side effect"}, {"text": "Dose 1 (%)"},
+                       {"text": "Dose 2 (%)"}], "is_metadata": True}]
+    for effect, (d1, d2) in rates.items():
+        rows.append({"cells": [{"text": effect}, {"text": str(d1)},
+                               {"text": str(d2)}]})
+    return {
+        "caption": f"Table: Side effects reported after {vaccine} "
+        "vaccination, by dose",
+        "rows": rows,
+    }
+
+
+class TestNormalizedEntropy:
+    def test_uniform_is_one(self):
+        assert normalized_entropy([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_degenerate_is_zero(self):
+        assert normalized_entropy([30, 0, 0]) == 0.0
+        assert normalized_entropy([5]) == 0.0
+        assert normalized_entropy([30, 1, 1]) < 0.5
+
+    def test_trivial_distributions_are_balanced(self):
+        assert normalized_entropy([1]) == 1.0
+        assert normalized_entropy([]) == 1.0
+        assert normalized_entropy([0, 0]) == 1.0
+
+    @given(st.lists(st.integers(1, 50), min_size=2, max_size=10))
+    def test_bounded(self, counts):
+        assert 0.0 <= normalized_entropy(counts) <= 1.0 + 1e-9
+
+    @given(st.integers(2, 10), st.integers(1, 40))
+    def test_uniform_always_one(self, buckets, per):
+        assert normalized_entropy([per] * buckets) == pytest.approx(1.0)
+
+
+class TestSourceBalance:
+    def test_balanced_journals_not_flagged(self):
+        papers = [make_paper(f"p{i}", journal=f"J{i % 5}")
+                  for i in range(20)]
+        balance, flags, journals = (
+            BiasInterrogator().check_source_balance(papers)
+        )
+        assert balance > 0.9
+        assert not flags
+        assert sum(journals.values()) == 20
+
+    def test_dominant_journal_flagged(self):
+        papers = [make_paper(f"p{i}", journal="MegaJournal")
+                  for i in range(18)]
+        papers.append(make_paper("p-other", journal="Small"))
+        balance, flags, _ = BiasInterrogator().check_source_balance(papers)
+        assert balance < 0.6
+        assert flags and flags[0].kind == "source_skew"
+        assert flags[0].subject == "MegaJournal"
+
+
+class TestProvenance:
+    def build(self):
+        graph = seed_covid_graph()
+        engine = FusionEngine(graph, NodeMatcher(graph))
+        return graph, engine
+
+    def test_thin_node_flagged(self):
+        graph, engine = self.build()
+        engine.fuse(ExtractedSubtree(
+            "Vaccines", category="vaccines", provenance="only-paper",
+            children=[ExtractedSubtree("LonelyVax", category="vaccines")],
+        ))
+        flags = BiasInterrogator().check_provenance(graph)
+        assert any(flag.subject == "LonelyVax" for flag in flags)
+
+    def test_well_sourced_node_not_flagged(self):
+        graph, engine = self.build()
+        for paper in ("p1", "p2", "p3"):
+            engine.fuse(ExtractedSubtree(
+                "Vaccines", category="vaccines", provenance=paper,
+                children=[ExtractedSubtree("PopularVax",
+                                           category="vaccines")],
+            ))
+        flags = BiasInterrogator().check_provenance(graph)
+        assert not any(flag.subject == "PopularVax" for flag in flags)
+
+    def test_untouched_seed_structure_exempt(self):
+        graph, _ = self.build()
+        flags = BiasInterrogator().check_provenance(graph)
+        assert flags == []
+
+
+class TestContestedClaims:
+    def test_high_variance_rate_flagged(self):
+        papers = [
+            make_paper("p1", tables=[side_effect_table(
+                "Pfizer", {"fever": (5.0, 6.0)})]),
+            make_paper("p2", tables=[side_effect_table(
+                "Pfizer", {"fever": (60.0, 70.0)})]),
+        ]
+        flags = BiasInterrogator().check_contested_claims(papers)
+        assert flags
+        assert all(flag.kind == "contested_claim" for flag in flags)
+        assert "Pfizer / fever" in flags[0].subject
+
+    def test_agreeing_rates_not_flagged(self):
+        papers = [
+            make_paper("p1", tables=[side_effect_table(
+                "Pfizer", {"fever": (20.0, 25.0)})]),
+            make_paper("p2", tables=[side_effect_table(
+                "Pfizer", {"fever": (21.0, 26.0)})]),
+        ]
+        assert BiasInterrogator().check_contested_claims(papers) == []
+
+    def test_single_paper_claims_exempt(self):
+        papers = [make_paper("p1", tables=[side_effect_table(
+            "Pfizer", {"fever": (1.0, 99.0)})])]
+        assert BiasInterrogator().check_contested_claims(papers) == []
+
+
+class TestInterrogate:
+    def test_full_report_on_synthetic_corpus(self):
+        papers = CorpusGenerator(GeneratorConfig(
+            seed=31, tables_per_paper=(1, 2),
+        )).papers(40)
+        graph = seed_covid_graph()
+        engine = FusionEngine(graph, NodeMatcher(graph))
+        pipeline = EnrichmentPipeline(engine)
+        pipeline.enrich(papers)
+        report = BiasInterrogator().interrogate(
+            papers, graph=graph, pipeline=pipeline, num_clusters=4,
+        )
+        assert 0.0 <= report.topic_balance <= 1.0
+        assert 0.0 <= report.source_balance <= 1.0
+        summary = report.summary()
+        assert set(summary) == {"topic_balance", "source_balance", "flags"}
+        assert report.worst(3) == sorted(
+            report.flags, key=lambda f: -f.severity
+        )[:3]
+
+    def test_flags_of_filters_by_kind(self):
+        report = BiasReport(flags=[
+            BiasFlag("source_skew", "x", 0.5, "d"),
+            BiasFlag("thin_provenance", "y", 0.9, "d"),
+        ])
+        assert len(report.flags_of("source_skew")) == 1
+
+    def test_system_facade_interrogation(self):
+        from repro.api.system import CovidKG, CovidKGConfig
+        from repro.errors import ModelError
+        system = CovidKG(CovidKGConfig(num_shards=2))
+        with pytest.raises(ModelError):
+            system.interrogate_bias()
+        papers = CorpusGenerator(GeneratorConfig(
+            seed=32, tables_per_paper=(1, 2),
+        )).papers(16)
+        system.ingest(papers)
+        report = system.interrogate_bias(num_clusters=4)
+        assert isinstance(report, BiasReport)

@@ -1,0 +1,112 @@
+"""Tests for the interactive browser session and provenance drill-down."""
+
+import pytest
+
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.errors import GraphError
+from repro.kg.browse import BrowserSession
+from repro.kg.ontology import seed_covid_graph
+
+
+@pytest.fixture()
+def session():
+    return BrowserSession(seed_covid_graph())
+
+
+class TestNavigation:
+    def test_starts_at_root(self, session):
+        assert session.current.label == "COVID-19"
+        view = session.view()
+        assert view.breadcrumbs == ["COVID-19"]
+        assert view.depth == 0
+        assert any(
+            child["label"] == "Vaccines" for child in view.children
+        )
+
+    def test_enter_child(self, session):
+        view = session.enter("Vaccines")
+        assert view.breadcrumbs == ["COVID-19", "Vaccines"]
+        assert session.current.label == "Vaccines"
+
+    def test_enter_is_case_insensitive(self, session):
+        assert session.enter("vaccines").depth == 1
+
+    def test_enter_unknown_child_rejected(self, session):
+        with pytest.raises(GraphError):
+            session.enter("Astrology")
+
+    def test_up_and_back(self, session):
+        session.enter("Vaccines")
+        session.enter("Side-effects")
+        assert session.up().breadcrumbs[-1] == "Vaccines"
+        assert session.back().breadcrumbs[-1] == "Side-effects"
+
+    def test_up_from_root_rejected(self, session):
+        with pytest.raises(GraphError):
+            session.up()
+
+    def test_back_without_history_rejected(self, session):
+        with pytest.raises(GraphError):
+            session.back()
+
+    def test_jump_via_search(self, session):
+        view = session.jump("pfizer")
+        assert view.breadcrumbs[-1] == "Pfizer"
+        assert view.breadcrumbs[0] == "COVID-19"
+
+    def test_jump_no_match_rejected(self, session):
+        with pytest.raises(GraphError):
+            session.jump("zzzz")
+
+    def test_home(self, session):
+        session.enter("Vaccines")
+        assert session.home().depth == 0
+
+    def test_render_shows_breadcrumbs_and_children(self, session):
+        session.enter("Vaccines")
+        text = session.view().render()
+        assert text.startswith("COVID-19 > Vaccines")
+        assert "Pfizer" in text
+
+
+class TestBookmarks:
+    def test_bookmark_roundtrip(self, session):
+        session.enter("Vaccines")
+        session.bookmark("vax")
+        session.home()
+        assert session.goto_bookmark("vax").breadcrumbs[-1] == "Vaccines"
+
+    def test_unknown_bookmark(self, session):
+        with pytest.raises(GraphError):
+            session.goto_bookmark("nope")
+
+
+class TestProvenanceDrilldown:
+    @pytest.fixture(scope="class")
+    def system(self):
+        corpus = CorpusGenerator(GeneratorConfig(
+            seed=81, tables_per_paper=(1, 2),
+        )).papers(20)
+        kg = CovidKG(CovidKGConfig(num_shards=2))
+        kg.ingest(corpus)
+        return kg
+
+    def test_explain_node_returns_papers_with_snippets(self, system):
+        vaccines = system.graph.find_by_label("Vaccines")[0]
+        explanation = system.explain_node(vaccines.node_id)
+        assert explanation["path"] == ["COVID-19", "Vaccines"]
+        assert explanation["total_papers"] > 0
+        assert explanation["papers"]
+        for paper in explanation["papers"]:
+            assert paper["title"]
+            assert paper["paper_id"].startswith("cord-")
+
+    def test_max_papers_respected(self, system):
+        vaccines = system.graph.find_by_label("Vaccines")[0]
+        explanation = system.explain_node(vaccines.node_id, max_papers=2)
+        assert len(explanation["papers"]) <= 2
+
+    def test_browse_facade(self, system):
+        session = system.browse()
+        assert session.enter("Vaccines").papers

@@ -1,0 +1,122 @@
+"""Tests for the KG freshness audit."""
+
+import datetime
+
+import pytest
+
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.errors import GraphError
+from repro.kg.enrichment import EnrichmentPipeline
+from repro.kg.freshness import audit_freshness, paper_dates
+from repro.kg.fusion import ExtractedSubtree, FusionEngine
+from repro.kg.matching import NodeMatcher
+from repro.kg.ontology import seed_covid_graph
+
+
+def paper(paper_id, date):
+    return {"paper_id": paper_id, "publish_time": date}
+
+
+def fused_graph(provenance_dates):
+    """A seed graph with one fused leaf per (paper_id, date) pair."""
+    graph = seed_covid_graph()
+    engine = FusionEngine(graph, NodeMatcher(graph))
+    for index, (paper_id, _) in enumerate(provenance_dates):
+        engine.fuse(ExtractedSubtree(
+            "Vaccines", category="vaccines", provenance=paper_id,
+            children=[ExtractedSubtree(f"Vax{index}",
+                                       category="vaccines")],
+        ))
+    return graph
+
+
+class TestPaperDates:
+    def test_extracts_dates(self):
+        dates = paper_dates([paper("p1", "2021-03-01")])
+        assert dates["p1"] == datetime.date(2021, 3, 1)
+
+    def test_bad_date_rejected(self):
+        with pytest.raises(GraphError):
+            paper_dates([paper("p1", "March 2021")])
+
+    def test_missing_fields_skipped(self):
+        assert paper_dates([{"paper_id": "p1"}]) == {}
+
+
+class TestAudit:
+    def test_fresh_and_stale_nodes(self):
+        papers = [paper("old", "2020-01-15"), paper("new", "2021-06-01")]
+        graph = fused_graph([("old", None), ("new", None)])
+        report = audit_freshness(graph, papers, window_days=90)
+
+        stale_labels = {node.label for node in report.stale_nodes}
+        assert "Vax0" in stale_labels     # supported only by "old"
+        assert "Vax1" not in stale_labels
+        assert report.as_of == datetime.date(2021, 6, 1)
+
+    def test_seed_structure_counted_not_flagged(self):
+        papers = [paper("new", "2021-06-01")]
+        graph = fused_graph([("new", None)])
+        report = audit_freshness(graph, papers)
+        assert report.unevidenced_nodes > 0
+        assert all(node.num_papers >= 1 for node in report.nodes)
+
+    def test_parent_inherits_child_freshness(self):
+        # papers_for aggregates the subtree, so "Vaccines" is as fresh as
+        # its newest leaf.
+        papers = [paper("old", "2020-01-01"), paper("new", "2021-06-01")]
+        graph = fused_graph([("old", None), ("new", None)])
+        report = audit_freshness(graph, papers, window_days=30)
+        vaccines = next(
+            node for node in report.nodes if node.label == "Vaccines"
+        )
+        assert vaccines.age_days == 0
+        assert not vaccines.is_stale
+
+    def test_explicit_as_of(self):
+        papers = [paper("p", "2021-01-01")]
+        graph = fused_graph([("p", None)])
+        report = audit_freshness(graph, papers, as_of="2021-12-31",
+                                 window_days=30)
+        assert report.stale_fraction() == 1.0
+
+    def test_summary_shape(self):
+        papers = [paper("p", "2021-01-01")]
+        graph = fused_graph([("p", None)])
+        summary = audit_freshness(graph, papers).summary()
+        assert set(summary) == {
+            "as_of", "evidenced_nodes", "unevidenced_nodes",
+            "stale_nodes", "stale_fraction", "median_age_days",
+        }
+
+    def test_by_category(self):
+        papers = [paper("p", "2021-01-01")]
+        graph = fused_graph([("p", None)])
+        categories = audit_freshness(graph, papers).by_category()
+        assert "vaccines" in categories
+        assert categories["vaccines"]["nodes"] >= 1
+
+    def test_no_dated_papers_rejected(self):
+        with pytest.raises(GraphError):
+            audit_freshness(seed_covid_graph(), [])
+
+
+class TestEndToEnd:
+    def test_weekly_ingest_keeps_graph_fresh(self):
+        """The paper's loop: continuous enrichment keeps staleness low."""
+        generator = CorpusGenerator(GeneratorConfig(
+            seed=61, papers_per_week=15, tables_per_paper=(1, 2),
+        ))
+        graph = seed_covid_graph()
+        pipeline = EnrichmentPipeline(
+            FusionEngine(graph, NodeMatcher(graph))
+        )
+        all_papers = []
+        for batch in generator.weekly_batches(8):
+            pipeline.enrich(batch)
+            all_papers.extend(batch)
+        report = audit_freshness(graph, all_papers, window_days=35)
+        # Continuously-updated categories stay fresh.
+        assert report.stale_fraction() < 0.5
+        vaccines = report.by_category()["vaccines"]
+        assert (report.as_of - vaccines["newest"]).days <= 14

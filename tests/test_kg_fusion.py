@@ -1,0 +1,296 @@
+"""Tests for node matching, subtree fusion, and the expert review loop."""
+
+import pytest
+
+from repro.corpus import vocabulary_data as vd
+from repro.embeddings.word2vec import Word2Vec
+from repro.errors import FusionError
+from repro.kg.fusion import ExtractedSubtree, FusionEngine
+from repro.kg.matching import NodeMatcher
+from repro.kg.ontology import seed_covid_graph
+from repro.kg.review import ExpertReviewQueue, FusionCorrector
+from repro.text.vocabulary import Vocabulary
+
+# A tiny embedding corpus that places vaccine names in one neighbourhood.
+VACCINE_SENTENCES = [
+    f"{vaccine} vaccine dose efficacy antibody trial"
+    for vaccine in vd.KNOWN_VACCINES + vd.UNSEEN_VACCINES
+] * 10 + [
+    f"{strain} strain mutation lineage sequencing"
+    for strain in vd.STRAINS
+] * 10
+
+
+@pytest.fixture(scope="module")
+def word2vec():
+    vocab = Vocabulary.from_texts(VACCINE_SENTENCES, drop_stopwords=False)
+    return Word2Vec(vocab, dim=16, window=2, seed=1).fit(
+        VACCINE_SENTENCES, epochs=8
+    )
+
+
+@pytest.fixture()
+def setup(word2vec):
+    graph = seed_covid_graph()
+    matcher = NodeMatcher(graph, word2vec=word2vec)
+    queue = ExpertReviewQueue()
+    engine = FusionEngine(graph, matcher, review_queue=queue)
+    return graph, matcher, queue, engine
+
+
+class TestNodeMatcher:
+    def test_term_match_exact(self, setup):
+        _, matcher, _, _ = setup
+        result = matcher.match("Vaccines")
+        assert result.matched and result.method == "term"
+        assert result.confidence == 1.0
+
+    def test_term_match_normalized(self, setup):
+        _, matcher, _, _ = setup
+        # Singular and different case still term-match.
+        result = matcher.match("vaccine")
+        assert result.matched and result.method == "term"
+
+    def test_unseen_entity_embedding_matches_sibling(self, setup):
+        _, matcher, _, _ = setup
+        result = matcher.match("NovoVac", category="vaccines")
+        assert result.matched
+        assert result.method == "embedding"
+        assert result.node.category == "vaccines"
+
+    def test_sibling_parent_infers_vaccines_node(self, setup):
+        graph, matcher, _, _ = setup
+        parent = matcher.sibling_parent("NovoVac", category="vaccines")
+        assert parent is not None
+        assert parent.label == "Vaccines"
+
+    def test_no_match_for_garbage(self, setup):
+        _, matcher, _, _ = setup
+        result = matcher.match("zzzz qqqq xxxx")
+        assert not result.matched
+
+
+class TestSubtreeDepth:
+    def test_depths(self):
+        leaf = ExtractedSubtree("x")
+        assert leaf.depth() == 0
+        one = ExtractedSubtree("root", [leaf])
+        assert one.depth() == 1
+        two = ExtractedSubtree("top", [one])
+        assert two.depth() == 2
+        assert two.num_nodes() == 3
+
+    def test_json_roundtrip(self):
+        tree = ExtractedSubtree(
+            "Side-effects", category="side_effects", provenance="p1",
+            children=[ExtractedSubtree("Rash", provenance="p1")],
+        )
+        assert ExtractedSubtree.from_json(tree.to_json()) == tree
+
+
+class TestUnsupervisedLeafFusion:
+    def test_new_leaf_added_under_matched_root(self, setup):
+        graph, _, _, engine = setup
+        subtree = ExtractedSubtree(
+            "Vaccines", category="vaccines", provenance="p1",
+            children=[ExtractedSubtree("BrandNewVax",
+                                       category="vaccines")],
+        )
+        result = engine.fuse(subtree)
+        assert result.action == "merged"
+        assert result.added_leaves == ["BrandNewVax"]
+        added = graph.find_by_label("BrandNewVax")[0]
+        assert graph.parent(added.node_id).label == "Vaccines"
+        assert added.provenance == ["p1"]
+
+    def test_existing_leaf_merges_and_gains_provenance(self, setup):
+        graph, _, _, engine = setup
+        subtree = ExtractedSubtree(
+            "Vaccines", category="vaccines", provenance="p42",
+            children=[ExtractedSubtree("Pfizer", category="vaccines")],
+        )
+        result = engine.fuse(subtree)
+        assert result.merged_leaves == ["Pfizer"]
+        assert result.added_leaves == []
+        pfizer = graph.find_by_label("Pfizer")[0]
+        assert "p42" in pfizer.provenance
+
+    def test_unseen_root_with_unseen_leaf_uses_embeddings(self, setup):
+        graph, _, _, engine = setup
+        # Root "Vaccine candidates" has no term match; leaf NovoVac should
+        # be placed next to the known vaccines by embedding similarity.
+        subtree = ExtractedSubtree(
+            "Vaccine candidates", category="vaccines", provenance="p9",
+            children=[ExtractedSubtree("NovoVac", category="vaccines")],
+        )
+        result = engine.fuse(subtree)
+        assert result.action == "merged"
+        assert result.match_method == "embedding"
+        novo = graph.find_by_label("NovoVac")[0]
+        assert graph.parent(novo.node_id).label == "Vaccines"
+
+
+class TestReviewRouting:
+    def multi_layer(self):
+        return ExtractedSubtree(
+            "Side-effects", category="side_effects", provenance="p5",
+            children=[ExtractedSubtree(
+                "Children side-effects", category="side_effects",
+                children=[ExtractedSubtree("Rash",
+                                           category="side_effects")],
+            )],
+        )
+
+    def test_multi_layer_subtree_queued(self, setup):
+        _, _, queue, engine = setup
+        result = engine.fuse(self.multi_layer())
+        assert result.action == "queued"
+        assert len(queue.pending()) == 1
+        assert queue.pending()[0].reason == "multi-layer subtree"
+
+    def test_approval_applies_subtree(self, setup):
+        graph, _, queue, engine = setup
+        result = engine.fuse(self.multi_layer())
+        queue.decide(result.review_id, True, engine)
+        # Rash must exist under Children side-effects...
+        rashes = graph.find_by_label("Rash")
+        parents = {graph.parent(n.node_id).label for n in rashes}
+        assert "Children side-effects" in parents
+
+    def test_keep_separate_rule(self, setup):
+        # Rash under Children side-effects stays separate from a Rash
+        # under general Side-effects even after both fusions.
+        graph, _, queue, engine = setup
+        general = ExtractedSubtree(
+            "Side-effects", category="side_effects", provenance="pA",
+            children=[ExtractedSubtree("Rash", category="side_effects")],
+        )
+        engine.fuse(general)  # unsupervised leaf fusion
+        result = engine.fuse(self.multi_layer())
+        queue.decide(result.review_id, True, engine)
+        rashes = [
+            node for node in graph.find_by_label("Rash")
+            if node.category == "side_effects"
+        ]
+        assert len(rashes) == 2
+        parents = {graph.parent(n.node_id).label for n in rashes}
+        assert parents == {"Side-effects", "Children side-effects"}
+
+    def test_rejection_leaves_graph_unchanged(self, setup):
+        graph, _, queue, engine = setup
+        before = len(graph)
+        result = engine.fuse(self.multi_layer())
+        queue.decide(result.review_id, False, engine)
+        assert len(graph) == before
+
+    def test_double_decision_rejected(self, setup):
+        _, _, queue, engine = setup
+        result = engine.fuse(self.multi_layer())
+        queue.decide(result.review_id, True, engine)
+        with pytest.raises(FusionError):
+            queue.decide(result.review_id, False, engine)
+
+
+class TestFusionCorrector:
+    def test_learns_after_consistent_history(self, setup):
+        graph, _, queue, engine = setup
+        # The expert approves three identical multi-layer cases...
+        for _ in range(3):
+            subtree = TestReviewRouting().multi_layer()
+            result = engine.fuse(subtree)
+            queue.decide(result.review_id, True, engine)
+        # ...after which the engine auto-approves the fourth.
+        result = engine.fuse(TestReviewRouting().multi_layer())
+        assert result.action == "auto_approved"
+
+    def test_no_prediction_without_history(self):
+        corrector = FusionCorrector()
+        assert corrector.predict(ExtractedSubtree("x"), "term") is None
+
+    def test_mixed_history_stays_undecided(self):
+        corrector = FusionCorrector(min_history=4)
+        tree = ExtractedSubtree("x", category="c")
+        for approved in (True, False, True, False):
+            corrector.record(tree, "term", approved)
+        assert corrector.predict(tree, "term") is None
+
+    def test_consistent_rejection_learned(self):
+        corrector = FusionCorrector(min_history=3)
+        tree = ExtractedSubtree("x", category="c")
+        for _ in range(3):
+            corrector.record(tree, "none", False)
+        assert corrector.predict(tree, "none") is False
+
+
+class TestScriptedExpert:
+    def test_process_all_with_policy(self, setup):
+        _, _, queue, engine = setup
+        for _ in range(4):
+            engine.fuse(TestReviewRouting().multi_layer())
+        outcomes = queue.process_all(
+            engine, policy=lambda item: (True, None)
+        )
+        assert outcomes["approved"] >= 1
+        assert not queue.pending()
+
+
+class TestInsertParentProposals:
+    """The NovoVac corollary: 'the node Vaccine then can be added to the
+    KG on the top of the NovoVac node' — proposed, expert-gated."""
+
+    def test_differing_root_label_proposes_insert(self, setup):
+        graph, _, queue, engine = setup
+        result = engine.fuse(ExtractedSubtree(
+            "Vaccine candidates", category="vaccines", provenance="pX",
+            children=[ExtractedSubtree("NovoVac", category="vaccines")],
+        ))
+        assert result.action == "merged"
+        assert result.intermediate_review_ids
+        item = queue.item(result.intermediate_review_ids[0])
+        assert item.operation == "insert_parent"
+        assert item.subtree.label == "Vaccine candidates"
+
+    def test_approval_inserts_intermediate_node(self, setup):
+        graph, _, queue, engine = setup
+        result = engine.fuse(ExtractedSubtree(
+            "Vaccine candidates", category="vaccines", provenance="pY",
+            children=[ExtractedSubtree("NovoVac", category="vaccines")],
+        ))
+        review_id = result.intermediate_review_ids[0]
+        queue.decide(review_id, True, engine)
+        novo = graph.find_by_label("NovoVac")[0]
+        path = [n.label for n in graph.path_to(novo.node_id)]
+        assert path == ["COVID-19", "Vaccines", "Vaccine candidates",
+                        "NovoVac"]
+        intermediate = graph.parent(novo.node_id)
+        assert "pY" in intermediate.provenance
+
+    def test_rejection_keeps_flat_placement(self, setup):
+        graph, _, queue, engine = setup
+        result = engine.fuse(ExtractedSubtree(
+            "Vaccine candidates", category="vaccines", provenance="pZ",
+            children=[ExtractedSubtree("NovoVac", category="vaccines")],
+        ))
+        queue.decide(result.intermediate_review_ids[0], False, engine)
+        novo = graph.find_by_label("NovoVac")[0]
+        assert graph.parent(novo.node_id).label == "Vaccines"
+
+    def test_matching_root_label_proposes_nothing(self, setup):
+        _, _, queue, engine = setup
+        before = len(queue)
+        result = engine.fuse(ExtractedSubtree(
+            "Vaccines", category="vaccines", provenance="pW",
+            children=[ExtractedSubtree("BrandNewVax2",
+                                       category="vaccines")],
+        ))
+        assert result.intermediate_review_ids == []
+        assert len(queue) == before
+
+    def test_insert_decisions_tracked_separately_by_corrector(self, setup):
+        _, _, queue, engine = setup
+        tree = ExtractedSubtree("x", category="c")
+        queue.corrector.record(tree, "embedding", True,
+                               operation="attach_subtree")
+        assert queue.corrector.predict(
+            tree, "embedding", operation="insert_parent"
+        ) is None

@@ -1,0 +1,192 @@
+"""Tests for KG nodes, the graph container, and the seed ontology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.node import KGNode, normalize_label
+from repro.kg.ontology import seed_covid_graph
+
+
+class TestNormalizeLabel:
+    def test_case_and_inflection_insensitive(self):
+        assert normalize_label("Vaccines") == normalize_label("vaccine")
+
+    def test_word_order_insensitive(self):
+        assert normalize_label("side effects vaccine") == (
+            normalize_label("Vaccine side effects")
+        )
+
+    def test_different_terms_differ(self):
+        assert normalize_label("Vaccines") != normalize_label("Strains")
+
+
+class TestKGNode:
+    def test_provenance_deduplicates(self):
+        node = KGNode("n1", "Fever")
+        node.add_provenance("p1")
+        node.add_provenance("p1")
+        node.add_provenance("p2")
+        assert node.provenance == ["p1", "p2"]
+
+    def test_json_roundtrip(self):
+        node = KGNode("n1", "Fever", parent_id="n0", children=["n2"],
+                      provenance=["p1"], category="symptoms",
+                      attributes={"rate": 0.5})
+        restored = KGNode.from_json(node.to_json())
+        assert restored == node
+
+
+class TestKnowledgeGraph:
+    def test_root_exists(self):
+        graph = KnowledgeGraph("COVID-19")
+        assert graph.root.label == "COVID-19"
+        assert len(graph) == 1
+
+    def test_add_node_links_parent_and_child(self):
+        graph = KnowledgeGraph()
+        child = graph.add_node("Vaccines")
+        assert graph.node(child).parent_id == graph.root_id
+        assert child in graph.root.children
+
+    def test_add_node_rejects_unknown_parent(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(GraphError):
+            graph.add_node("X", parent_id="n999")
+
+    def test_add_node_rejects_empty_label(self):
+        with pytest.raises(GraphError):
+            KnowledgeGraph().add_node("   ")
+
+    def test_path_to(self):
+        graph = KnowledgeGraph("root")
+        a = graph.add_node("a")
+        b = graph.add_node("b", a)
+        c = graph.add_node("c", b)
+        assert [n.label for n in graph.path_to(c)] == ["root", "a", "b", "c"]
+        assert graph.depth(c) == 3
+        assert graph.depth(graph.root_id) == 0
+
+    def test_find_by_label_normalized(self):
+        graph = KnowledgeGraph()
+        graph.add_node("Vaccines")
+        assert graph.find_by_label("vaccine")
+        assert not graph.find_by_label("strain")
+
+    def test_walk_visits_every_node_once(self):
+        graph = KnowledgeGraph()
+        a = graph.add_node("a")
+        graph.add_node("b", a)
+        graph.add_node("c", a)
+        graph.add_node("d")
+        labels = [node.label for node in graph.walk()]
+        assert len(labels) == len(graph)
+        assert len(set(labels)) == len(labels)
+
+    def test_leaves(self):
+        graph = KnowledgeGraph()
+        a = graph.add_node("a")
+        graph.add_node("b", a)
+        leaves = {node.label for node in graph.leaves()}
+        assert leaves == {"b"}
+
+    def test_insert_parent(self):
+        graph = KnowledgeGraph()
+        vaccines = graph.add_node("Vaccines")
+        novo = graph.add_node("NovoVac", vaccines)
+        inserted = graph.insert_parent("New vaccines", novo)
+        assert graph.node(novo).parent_id == inserted
+        assert graph.node(inserted).parent_id == vaccines
+        assert [n.label for n in graph.path_to(novo)] == [
+            "COVID-19", "Vaccines", "New vaccines", "NovoVac",
+        ]
+
+    def test_insert_parent_above_root_rejected(self):
+        graph = KnowledgeGraph()
+        with pytest.raises(GraphError):
+            graph.insert_parent("super-root", graph.root_id)
+
+    def test_papers_for_collects_subtree_provenance(self):
+        graph = KnowledgeGraph()
+        a = graph.add_node("a", provenance="p1")
+        graph.add_node("b", a, provenance="p2")
+        assert graph.papers_for(a) == ["p1", "p2"]
+
+    def test_json_roundtrip(self):
+        graph = seed_covid_graph()
+        restored = KnowledgeGraph.from_json(graph.to_json())
+        assert len(restored) == len(graph)
+        assert restored.root.label == "COVID-19"
+        assert {n.label for n in restored.walk()} == {
+            n.label for n in graph.walk()
+        }
+
+    def test_from_json_rejects_orphans(self):
+        graph = KnowledgeGraph()
+        graph.add_node("a")
+        data = graph.to_json()
+        data["nodes"].append({"id": "n99", "label": "orphan",
+                              "parent": "n98", "children": []})
+        with pytest.raises(GraphError):
+            KnowledgeGraph.from_json(data)
+
+    def test_save_load(self, tmp_path):
+        graph = seed_covid_graph()
+        graph.save(tmp_path / "kg.json")
+        restored = KnowledgeGraph.load(tmp_path / "kg.json")
+        assert len(restored) == len(graph)
+
+    def test_statistics(self):
+        graph = seed_covid_graph()
+        stats = graph.statistics()
+        assert stats["nodes"] == len(graph)
+        assert stats["max_depth"] >= 3
+        assert stats["leaves"] > 0
+
+
+class TestSeedOntology:
+    def test_skeleton_is_paper_sized(self):
+        skeleton = seed_covid_graph(include_known_entities=False)
+        # "an initial, small (10-20 nodes) structural layout"
+        assert 10 <= len(skeleton) <= 20
+
+    def test_full_seed_has_known_vaccines(self):
+        graph = seed_covid_graph()
+        assert graph.find_by_label("Pfizer")
+        assert graph.find_by_label("Moderna")
+
+    def test_overlapping_symptom_categorizations_coexist(self):
+        graph = seed_covid_graph()
+        # "fever" under common symptoms AND under systemic symptoms.
+        fevers = graph.find_by_label("fever")
+        assert len(fevers) >= 2
+        parents = {
+            graph.parent(node.node_id).label for node in fevers
+        }
+        assert len(parents) >= 2
+
+    def test_children_side_effects_separate_from_general(self):
+        graph = seed_covid_graph()
+        children = graph.find_by_label("Children side-effects")
+        assert children
+        general = graph.find_by_label("Side-effects")
+        assert general
+        assert children[0].node_id != general[0].node_id
+
+
+@settings(deadline=None)
+@given(st.lists(st.integers(0, 4), min_size=1, max_size=25))
+def test_random_tree_construction_stays_consistent(parent_choices):
+    graph = KnowledgeGraph()
+    ids = [graph.root_id]
+    for i, choice in enumerate(parent_choices):
+        parent = ids[choice % len(ids)]
+        ids.append(graph.add_node(f"node{i}", parent))
+    # Every node reachable, every path terminates at the root.
+    assert len(list(graph.walk())) == len(graph)
+    for node_id in ids:
+        path = graph.path_to(node_id)
+        assert path[0].node_id == graph.root_id
+        assert path[-1].node_id == node_id

@@ -1,0 +1,155 @@
+"""Tests for k-means clustering and cross-validation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.crossval import StratifiedKFold, cross_validate, train_test_split
+from repro.ml.kmeans import KMeans, normalized_mutual_information, purity
+from repro.ml.svm import LinearSVM
+
+RNG = np.random.default_rng(17)
+
+
+def three_blobs(n_per=40, spread=0.3):
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [-5.0, 5.0]])
+    points, labels = [], []
+    for label, center in enumerate(centers):
+        points.append(center + RNG.normal(scale=spread, size=(n_per, 2)))
+        labels.extend([label] * n_per)
+    return np.vstack(points), np.array(labels)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        points, truth = three_blobs()
+        assignments = KMeans(3, seed=1).fit_predict(points)
+        assert purity(assignments, truth) > 0.95
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points, _ = three_blobs()
+        inertia1 = KMeans(1, seed=1).fit(points).inertia_
+        inertia3 = KMeans(3, seed=1).fit(points).inertia_
+        assert inertia3 < inertia1
+
+    def test_predict_assigns_nearest_centroid(self):
+        points, _ = three_blobs()
+        model = KMeans(3, seed=2).fit(points)
+        prediction = model.predict(np.array([[5.0, 5.0]]))
+        centroid = model.centroids[prediction[0]]
+        assert np.linalg.norm(centroid - [5.0, 5.0]) < 1.0
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ModelError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.zeros((1, 2)))
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((10, 2))
+        model = KMeans(2, seed=0).fit(points)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_deterministic_given_seed(self):
+        points, _ = three_blobs()
+        a = KMeans(3, seed=5).fit(points).centroids
+        b = KMeans(3, seed=5).fit(points).centroids
+        np.testing.assert_array_equal(a, b)
+
+
+class TestClusterMetrics:
+    def test_perfect_clustering(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        assert purity(truth, truth) == 1.0
+        assert normalized_mutual_information(truth, truth) == (
+            pytest.approx(1.0)
+        )
+
+    def test_permuted_labels_still_perfect(self):
+        truth = np.array([0, 0, 1, 1])
+        permuted = np.array([1, 1, 0, 0])
+        assert purity(permuted, truth) == 1.0
+        assert normalized_mutual_information(permuted, truth) == (
+            pytest.approx(1.0)
+        )
+
+    def test_single_cluster_of_mixed_labels(self):
+        truth = np.array([0, 1, 0, 1])
+        assignments = np.zeros(4, dtype=int)
+        assert purity(assignments, truth) == 0.5
+        assert normalized_mutual_information(assignments, truth) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            purity(np.array([0]), np.array([0, 1]))
+
+
+class TestSplits:
+    def test_train_test_split_partitions(self):
+        x = np.arange(20).reshape(-1, 1)
+        y = np.arange(20)
+        train_x, test_x, train_y, test_y = train_test_split(
+            x, y, test_fraction=0.25, seed=1
+        )
+        assert len(test_x) == 5 and len(train_x) == 15
+        assert sorted(np.concatenate([train_y, test_y]).tolist()) == (
+            list(range(20))
+        )
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ModelError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.5)
+
+    def test_stratified_folds_preserve_balance(self):
+        labels = np.array([0] * 80 + [1] * 20)
+        for train, test in StratifiedKFold(5, seed=0).split(labels):
+            positives = labels[test].mean()
+            assert 0.1 <= positives <= 0.3
+            assert len(train) + len(test) == 100
+
+    def test_folds_are_disjoint_and_cover(self):
+        labels = RNG.integers(0, 2, 50)
+        seen = []
+        for _, test in StratifiedKFold(5, seed=1).split(labels):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(50))
+
+    def test_too_few_folds_rejected(self):
+        with pytest.raises(ModelError):
+            StratifiedKFold(1)
+
+
+class TestCrossValidate:
+    def test_cv_on_separable_data_scores_high(self):
+        x = RNG.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(int)
+        x[y == 1] += 2.0
+        result = cross_validate(lambda: LinearSVM(epochs=15), x, y,
+                                num_folds=5, seed=2)
+        assert result.mean("f1") > 0.9
+        assert len(result.fold_metrics) == 5
+        assert set(result.summary()) == {
+            "precision", "recall", "f1", "accuracy",
+        }
+
+    def test_cv_std_available(self):
+        x = RNG.normal(size=(60, 2))
+        y = (x[:, 0] > 0).astype(int)
+        result = cross_validate(lambda: LinearSVM(epochs=5), x, y,
+                                num_folds=3)
+        assert result.std("f1") >= 0.0
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(2, 5), st.integers(20, 60))
+def test_kfold_partition_property(num_folds, num_samples):
+    labels = np.arange(num_samples) % 2
+    folds = list(StratifiedKFold(num_folds, seed=3).split(labels))
+    all_test = sorted(i for _, test in folds for i in test.tolist())
+    assert all_test == list(range(num_samples))
+    for train, test in folds:
+        assert set(train.tolist()).isdisjoint(test.tolist())

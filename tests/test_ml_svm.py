@@ -1,0 +1,89 @@
+"""Tests for the from-scratch SVMs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.svm import KernelSVM, LinearSVM
+
+RNG = np.random.default_rng(13)
+
+
+def linearly_separable(n=200, gap=1.0):
+    x = RNG.normal(size=(n, 2))
+    y = (x[:, 0] - x[:, 1] > 0).astype(int)
+    x[y == 1] += gap
+    x[y == 0] -= gap
+    return x, y
+
+
+def xor_dataset(n=200):
+    x = RNG.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    return x * 2.0, y
+
+
+class TestLinearSVM:
+    def test_separates_linear_data(self):
+        x, y = linearly_separable()
+        model = LinearSVM(epochs=30).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.97
+
+    def test_decision_function_sign_matches_predict(self):
+        x, y = linearly_separable()
+        model = LinearSVM().fit(x, y)
+        scores = model.decision_function(x)
+        np.testing.assert_array_equal(model.predict(x), (scores >= 0))
+
+    def test_deterministic_given_seed(self):
+        x, y = linearly_separable()
+        a = LinearSVM(seed=9).fit(x, y)
+        b = LinearSVM(seed=9).fit(x, y)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            LinearSVM(regularization=0)
+        with pytest.raises(ModelError):
+            LinearSVM(epochs=0)
+        with pytest.raises(ModelError):
+            LinearSVM().fit(np.zeros((2, 2)), np.array([0, 2]))
+        with pytest.raises(ModelError):
+            LinearSVM().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ModelError):
+            LinearSVM().fit(np.zeros(4), np.zeros(4))
+
+    def test_accepts_pm_one_labels(self):
+        x, y = linearly_separable()
+        model = LinearSVM().fit(x, np.where(y == 1, 1, -1))
+        assert np.mean(model.predict(x) == y) > 0.95
+
+
+class TestKernelSVM:
+    def test_rbf_solves_xor(self):
+        x, y = xor_dataset()
+        model = KernelSVM(kernel="rbf", gamma=1.0, epochs=40).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.9
+
+    def test_linear_svm_fails_xor(self):
+        # Sanity: XOR really needs the kernel.
+        x, y = xor_dataset()
+        linear = LinearSVM(epochs=40).fit(x, y)
+        assert np.mean(linear.predict(x) == y) < 0.75
+
+    def test_sigmoid_kernel_separates_linear_data(self):
+        x, y = linearly_separable()
+        model = KernelSVM(kernel="sigmoid", gamma=0.5, epochs=40).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.9
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ModelError):
+            KernelSVM(kernel="poly")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            KernelSVM().decision_function(np.zeros((1, 2)))

@@ -1,0 +1,209 @@
+"""Tests for feed-forward layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.neural.layers import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAveragePooling,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def numeric_grad(function, array, epsilon=1e-6):
+    """Central-difference gradient of scalar ``function`` w.r.t. ``array``."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        upper = function()
+        flat[i] = original - epsilon
+        lower = function()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def check_layer_gradients(layer, inputs, atol=1e-5):
+    """Verify backward() against numerical gradients of sum(forward())."""
+    upstream = np.ones_like(layer.forward(inputs, training=False))
+    layer.zero_grads()
+    analytic_input_grad = layer.backward(upstream)
+
+    numeric_input_grad = numeric_grad(
+        lambda: float(layer.forward(inputs, training=False).sum()), inputs
+    )
+    np.testing.assert_allclose(
+        analytic_input_grad, numeric_input_grad, atol=atol,
+        err_msg="input gradient mismatch",
+    )
+    layer.forward(inputs, training=False)
+    layer.zero_grads()
+    layer.backward(upstream)
+    for param, grad in zip(layer.params, layer.grads):
+        numeric = numeric_grad(
+            lambda: float(layer.forward(inputs, training=False).sum()), param
+        )
+        np.testing.assert_allclose(
+            grad, numeric, atol=atol, err_msg="param gradient mismatch",
+        )
+
+
+class TestDense:
+    def test_output_shape_2d(self):
+        layer = Dense(4, 3)
+        assert layer.forward(RNG.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_output_shape_3d(self):
+        layer = Dense(4, 3)
+        assert layer.forward(RNG.normal(size=(5, 7, 4))).shape == (5, 7, 3)
+
+    def test_gradients_linear(self):
+        check_layer_gradients(Dense(4, 3), RNG.normal(size=(5, 4)))
+
+    def test_gradients_relu(self):
+        check_layer_gradients(
+            Dense(4, 3, activation="relu"),
+            RNG.normal(size=(5, 4)) + 0.05,  # keep away from the kink
+        )
+
+    def test_gradients_sigmoid(self):
+        check_layer_gradients(Dense(4, 2, activation="sigmoid"),
+                              RNG.normal(size=(5, 4)))
+
+    def test_gradients_tanh(self):
+        check_layer_gradients(Dense(4, 2, activation="tanh"),
+                              RNG.normal(size=(5, 4)))
+
+    def test_gradients_3d_input(self):
+        check_layer_gradients(Dense(3, 2), RNG.normal(size=(2, 4, 3)))
+
+    def test_unknown_activation(self):
+        with pytest.raises(ModelError):
+            Dense(3, 2, activation="swish")
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        layer = Embedding(10, 6)
+        out = layer.forward(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_lookup_values(self):
+        layer = Embedding(10, 6)
+        out = layer.forward(np.array([[3]]))
+        np.testing.assert_array_equal(out[0, 0], layer.weights[3])
+
+    def test_out_of_range_rejected(self):
+        layer = Embedding(5, 2)
+        with pytest.raises(ModelError):
+            layer.forward(np.array([[7]]))
+
+    def test_gradient_accumulates_per_index(self):
+        layer = Embedding(5, 3)
+        layer.forward(np.array([[1, 1, 2]]))
+        layer.zero_grads()
+        layer.backward(np.ones((1, 3, 3)))
+        np.testing.assert_allclose(layer.grads[0][1], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(layer.grads[0][2], [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(layer.grads[0][0], [0.0, 0.0, 0.0])
+
+    def test_pretrained_weights(self):
+        weights = RNG.normal(size=(4, 2))
+        layer = Embedding(4, 2, weights=weights)
+        np.testing.assert_array_equal(
+            layer.forward(np.array([[2]]))[0, 0], weights[2]
+        )
+
+    def test_frozen_embedding_has_no_params(self):
+        layer = Embedding(4, 2, trainable=False)
+        assert layer.params == []
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            Embedding(4, 2, weights=np.zeros((3, 2)))
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        layer = Dropout(0.5)
+        x = RNG.normal(size=(4, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_zeroes_at_training(self):
+        layer = Dropout(0.5, seed=1)
+        x = np.ones((100, 100))
+        out = layer.forward(x, training=True)
+        zero_fraction = np.mean(out == 0.0)
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = Dropout(0.3, seed=2)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=3)
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ModelError):
+            Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self):
+        layer = BatchNorm(3)
+        x = RNG.normal(loc=5.0, scale=3.0, size=(64, 3))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_used_at_inference(self):
+        layer = BatchNorm(2, momentum=0.0)  # running stats = last batch
+        x = RNG.normal(size=(32, 2))
+        layer.forward(x, training=True)
+        single = layer.forward(x[:1], training=False)
+        assert np.all(np.isfinite(single))
+
+    def test_gradients(self):
+        layer = BatchNorm(3)
+        x = RNG.normal(size=(8, 3))
+
+        def loss():
+            return float((layer.forward(x, training=True) ** 2).sum())
+
+        out = layer.forward(x, training=True)
+        layer.zero_grads()
+        analytic = layer.backward(2.0 * out)
+        numeric = numeric_grad(loss, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+
+class TestShaping:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = RNG.normal(size=(2, 3, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == (2, 3, 4)
+
+    def test_global_average_pooling(self):
+        layer = GlobalAveragePooling()
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, x.mean(axis=1))
+        grad = layer.backward(np.ones((2, 4)))
+        np.testing.assert_allclose(grad, np.full((2, 3, 4), 1 / 3))

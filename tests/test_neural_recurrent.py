@@ -1,0 +1,142 @@
+"""Gradient checks and behaviour tests for GRU, LSTM, Bidirectional."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.neural.recurrent import GRU, LSTM, Bidirectional
+
+RNG = np.random.default_rng(7)
+
+
+def numeric_grad(function, array, epsilon=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        upper = function()
+        flat[i] = original - epsilon
+        lower = function()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def check_recurrent_gradients(layer, inputs, atol=1e-5):
+    def loss():
+        return float(layer.forward(inputs).sum())
+
+    out = layer.forward(inputs)
+    layer.zero_grads()
+    analytic_input = layer.backward(np.ones_like(out))
+    numeric_input = numeric_grad(loss, inputs)
+    np.testing.assert_allclose(analytic_input, numeric_input, atol=atol,
+                               err_msg="input gradient mismatch")
+
+    layer.forward(inputs)
+    layer.zero_grads()
+    layer.backward(np.ones_like(out))
+    for index, (param, grad) in enumerate(zip(layer.params, layer.grads)):
+        numeric = numeric_grad(loss, param)
+        np.testing.assert_allclose(
+            grad, numeric, atol=atol,
+            err_msg=f"param {index} gradient mismatch",
+        )
+
+
+class TestGRU:
+    def test_output_shapes(self):
+        layer = GRU(3, 5, return_sequences=True)
+        x = RNG.normal(size=(2, 4, 3))
+        assert layer.forward(x).shape == (2, 4, 5)
+        last = GRU(3, 5, return_sequences=False)
+        assert last.forward(x).shape == (2, 5)
+
+    def test_gradients_sequences(self):
+        check_recurrent_gradients(GRU(2, 3, seed=1),
+                                  RNG.normal(size=(2, 3, 2)))
+
+    def test_gradients_last_state(self):
+        check_recurrent_gradients(
+            GRU(2, 3, return_sequences=False, seed=2),
+            RNG.normal(size=(2, 3, 2)),
+        )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ModelError):
+            GRU(3, 4).forward(RNG.normal(size=(2, 3)))
+
+    def test_deterministic_given_seed(self):
+        x = RNG.normal(size=(1, 3, 2))
+        out1 = GRU(2, 3, seed=5).forward(x)
+        out2 = GRU(2, 3, seed=5).forward(x)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_hidden_states_bounded(self):
+        # GRU hidden state is a convex combo of tanh outputs: |h| <= 1.
+        layer = GRU(2, 4)
+        out = layer.forward(RNG.normal(size=(3, 10, 2)) * 5)
+        assert np.all(np.abs(out) <= 1.0 + 1e-9)
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        layer = LSTM(3, 5, return_sequences=True)
+        x = RNG.normal(size=(2, 4, 3))
+        assert layer.forward(x).shape == (2, 4, 5)
+        last = LSTM(3, 5, return_sequences=False)
+        assert last.forward(x).shape == (2, 5)
+
+    def test_gradients_sequences(self):
+        check_recurrent_gradients(LSTM(2, 3, seed=3),
+                                  RNG.normal(size=(2, 3, 2)))
+
+    def test_gradients_last_state(self):
+        check_recurrent_gradients(
+            LSTM(2, 3, return_sequences=False, seed=4),
+            RNG.normal(size=(2, 3, 2)),
+        )
+
+    def test_forget_bias_initialized_to_one(self):
+        layer = LSTM(2, 3)
+        np.testing.assert_array_equal(layer.bias[3:6], 1.0)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ModelError):
+            LSTM(2, 3).backward(np.ones((1, 2, 3)))
+
+
+class TestBidirectional:
+    def test_output_concatenates_directions(self):
+        layer = Bidirectional.gru(3, 4)
+        x = RNG.normal(size=(2, 5, 3))
+        assert layer.forward(x).shape == (2, 5, 8)
+
+    def test_gradients(self):
+        check_recurrent_gradients(Bidirectional.gru(2, 2, seed=6),
+                                  RNG.normal(size=(2, 3, 2)))
+
+    def test_lstm_flavor(self):
+        layer = Bidirectional.lstm(3, 4)
+        assert layer.forward(RNG.normal(size=(1, 2, 3))).shape == (1, 2, 8)
+
+    def test_backward_direction_sees_future(self):
+        # Zero out everything except the LAST time step; the backward
+        # direction's FIRST output must still react.
+        layer = Bidirectional.gru(1, 2, seed=8)
+        x = np.zeros((1, 4, 1))
+        base = layer.forward(x)
+        x2 = x.copy()
+        x2[0, -1, 0] = 1.0
+        changed = layer.forward(x2)
+        # Forward-direction first step cannot see the change...
+        np.testing.assert_allclose(base[0, 0, :2], changed[0, 0, :2])
+        # ...but the backward direction can.
+        assert not np.allclose(base[0, 0, 2:], changed[0, 0, 2:])
+
+    def test_requires_sequence_sublayers(self):
+        with pytest.raises(ModelError):
+            Bidirectional(GRU(2, 2, return_sequences=False),
+                          GRU(2, 2, return_sequences=True))

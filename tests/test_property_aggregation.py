@@ -1,0 +1,159 @@
+"""Property-based tests of aggregation-pipeline algebra.
+
+These pin down the algebraic laws the engine must satisfy — the same
+laws a query optimizer (like the $match-first rewrite the paper relies
+on) silently assumes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore.aggregation import aggregate
+
+_docs = st.lists(
+    st.fixed_dictionaries({
+        "a": st.integers(-10, 10),
+        "b": st.integers(0, 5),
+        "tag": st.sampled_from(["x", "y", "z"]),
+    }),
+    max_size=25,
+)
+
+_bounds = st.integers(-10, 10)
+
+
+def _ids(result):
+    return [(doc["a"], doc["b"], doc["tag"]) for doc in result.documents]
+
+
+@given(_docs, _bounds, st.integers(0, 5))
+def test_match_then_match_equals_and(docs, a_bound, b_bound):
+    """$match(p) | $match(q)  ==  $match(p AND q)."""
+    sequential = aggregate(docs, [
+        {"$match": {"a": {"$gte": a_bound}}},
+        {"$match": {"b": {"$lte": b_bound}}},
+    ])
+    combined = aggregate(docs, [
+        {"$match": {"$and": [{"a": {"$gte": a_bound}},
+                             {"b": {"$lte": b_bound}}]}},
+    ])
+    assert _ids(sequential) == _ids(combined)
+
+
+@given(_docs, _bounds)
+def test_match_commutes_with_addfields_on_untouched_paths(docs, bound):
+    """$match on an input field commutes past $addFields of a new field."""
+    before = aggregate(docs, [
+        {"$match": {"a": {"$gte": bound}}},
+        {"$addFields": {"c": {"$add": ["$a", "$b"]}}},
+    ])
+    after = aggregate(docs, [
+        {"$addFields": {"c": {"$add": ["$a", "$b"]}}},
+        {"$match": {"a": {"$gte": bound}}},
+    ])
+    assert before.documents == after.documents
+
+
+@given(_docs, st.integers(0, 30), st.integers(0, 30))
+def test_skip_limit_is_slicing(docs, skip, limit):
+    result = aggregate(docs, [
+        {"$sort": {"a": 1}},
+        {"$skip": skip},
+        {"$limit": limit},
+    ])
+    reference = sorted(docs, key=lambda d: d["a"])[skip:skip + limit]
+    assert [doc["a"] for doc in result.documents] == [
+        doc["a"] for doc in reference
+    ]
+
+
+@given(_docs)
+def test_sort_is_idempotent(docs):
+    once = aggregate(docs, [{"$sort": {"a": 1}}])
+    twice = aggregate(docs, [{"$sort": {"a": 1}}, {"$sort": {"a": 1}}])
+    assert _ids(once) == _ids(twice)
+
+
+@given(_docs)
+def test_sort_is_stable(docs):
+    """Equal keys keep their input order (sorted() stability inherited)."""
+    result = aggregate(docs, [{"$sort": {"b": 1}}])
+    values = [(doc["b"], docs.index(doc)) for doc in result.documents]
+    del values  # order checked structurally below
+    seen_positions: dict[int, list[int]] = {}
+    position_of = {id(doc): i for i, doc in enumerate(docs)}
+    del position_of  # documents are copies; compare by key groups instead
+    previous_key = None
+    for doc in result.documents:
+        key = doc["b"]
+        assert previous_key is None or key >= previous_key
+        seen_positions.setdefault(key, []).append(
+            (doc["a"], doc["tag"])
+        )
+        previous_key = key
+    for key, group in seen_positions.items():
+        original = [(d["a"], d["tag"]) for d in docs if d["b"] == key]
+        assert group == original
+
+
+@given(_docs)
+def test_group_count_equals_sortbycount(docs):
+    grouped = aggregate(docs, [
+        {"$group": {"_id": "$tag", "count": {"$count": {}}}},
+    ])
+    by_count = aggregate(docs, [{"$sortByCount": "$tag"}])
+    assert sorted(
+        (doc["_id"], doc["count"]) for doc in grouped.documents
+    ) == sorted(
+        (doc["_id"], doc["count"]) for doc in by_count.documents
+    )
+
+
+@given(_docs)
+def test_group_sum_partitions_total(docs):
+    """Per-group sums add up to the global sum."""
+    per_group = aggregate(docs, [
+        {"$group": {"_id": "$tag", "total": {"$sum": "$a"}}},
+    ])
+    assert sum(doc["total"] for doc in per_group.documents) == sum(
+        doc["a"] for doc in docs
+    )
+
+
+@given(_docs, _bounds)
+def test_count_stage_matches_len(docs, bound):
+    counted = aggregate(docs, [
+        {"$match": {"a": {"$lt": bound}}},
+        {"$count": "n"},
+    ])
+    matched = aggregate(docs, [{"$match": {"a": {"$lt": bound}}}])
+    assert counted.documents[0]["n"] == len(matched.documents)
+
+
+@given(_docs)
+@settings(max_examples=30)
+def test_facet_equals_running_pipelines_separately(docs):
+    facet = aggregate(docs, [
+        {"$facet": {
+            "sorted": [{"$sort": {"a": 1}}],
+            "counted": [{"$count": "n"}],
+        }},
+    ]).documents[0]
+    assert facet["sorted"] == aggregate(
+        docs, [{"$sort": {"a": 1}}]
+    ).documents
+    assert facet["counted"] == aggregate(
+        docs, [{"$count": "n"}]
+    ).documents
+
+
+@given(_docs)
+def test_unwind_after_push_roundtrip(docs):
+    """$group($push) then $unwind recovers every original value."""
+    result = aggregate(docs, [
+        {"$group": {"_id": "$tag", "values": {"$push": "$a"}}},
+        {"$unwind": "$values"},
+    ])
+    assert sorted(doc["values"] for doc in result.documents) == sorted(
+        doc["a"] for doc in docs
+    )

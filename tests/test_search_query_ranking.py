@@ -1,0 +1,165 @@
+"""Tests for query parsing, ranking features, and snippets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.search.query import (
+    field_match_filter,
+    match_filter,
+    parse_query,
+)
+from repro.search.ranking import RankingFunction, min_window
+from repro.search.snippets import highlight, snippet
+from repro.docstore.matching import matches
+from repro.text.stemmer import stem
+from repro.text.tfidf import TfIdfModel
+from repro.text.tokenizer import tokenize
+
+
+class TestParseQuery:
+    def test_loose_terms_are_stemmed_patterns(self):
+        parsed = parse_query("masks")
+        assert parsed.terms[0].exact is False
+        assert parsed.terms[0].regex().search("Masking policies")
+        assert parsed.terms[0].regex().search("masks")
+
+    def test_quoted_phrase_is_exact(self):
+        parsed = parse_query('"mechanical ventilation"')
+        term = parsed.terms[0]
+        assert term.exact is True
+        assert term.regex().search("under mechanical ventilation care")
+        assert not term.regex().search("mechanical and ventilation")
+
+    def test_exact_does_not_match_inflections(self):
+        parsed = parse_query('"mask"')
+        assert not parsed.terms[0].regex().search("masks")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_words_property_splits_phrases(self):
+        parsed = parse_query('icu "oxygen support"')
+        assert parsed.words == ["icu", "oxygen", "support"]
+
+
+class TestMatchFilter:
+    DOC = {"search": {"title": "Masks reduce transmission",
+                      "abstract": "We study respirators."}}
+
+    def test_single_term_any_field(self):
+        parsed = parse_query("masks")
+        filt = match_filter(parsed, ["search.title", "search.abstract"])
+        assert matches(self.DOC, filt)
+
+    def test_and_across_terms(self):
+        parsed = parse_query("masks respirators")
+        filt = match_filter(parsed, ["search.title", "search.abstract"])
+        assert matches(self.DOC, filt)
+        missing = parse_query("masks ventilators")
+        filt2 = match_filter(missing, ["search.title", "search.abstract"])
+        assert not matches(self.DOC, filt2)
+
+    def test_field_filter_inclusive_semantics(self):
+        parsed = parse_query("masks ventilators")
+        # At least ONE term must hit the given field.
+        assert matches(self.DOC, field_match_filter(parsed, "search.title"))
+        absent = parse_query("ventilators oxygen")
+        assert not matches(
+            self.DOC, field_match_filter(absent, "search.title")
+        )
+
+
+class TestMinWindow:
+    def test_adjacent_terms(self):
+        assert min_window([[0], [1]]) == 2
+
+    def test_far_terms(self):
+        assert min_window([[0], [10]]) == 11
+
+    def test_picks_best_combination(self):
+        assert min_window([[0, 50], [51], [49]]) == 3
+
+    def test_missing_term_returns_none(self):
+        assert min_window([[0], []]) is None
+
+    def test_single_term(self):
+        assert min_window([[5, 9]]) == 1
+
+
+class TestRankingFunction:
+    def build(self, documents):
+        tfidf = TfIdfModel()
+        for text in documents:
+            tfidf.add_document_tokens(stem(t) for t in tokenize(text))
+        return RankingFunction(tfidf)
+
+    def test_title_outweighs_body(self):
+        ranking = self.build(["masks work", "other text entirely"])
+        parsed = parse_query("masks")
+        doc_title = {"search": {"title": "masks work", "body": ""}}
+        doc_body = {"search": {"title": "", "body": "masks work"}}
+        assert ranking.score(parsed, doc_title) > ranking.score(
+            parsed, doc_body
+        )
+
+    def test_proximity_rewards_adjacency(self):
+        ranking = self.build(["oxygen support needed"])
+        parsed = parse_query("oxygen support")
+        near = "oxygen support was provided immediately on arrival"
+        far = ("oxygen was administered early and later additional "
+               "breathing support was provided")
+        assert ranking.proximity_bonus(parsed, near) > (
+            ranking.proximity_bonus(parsed, far)
+        )
+
+    def test_static_score_rewards_recent_and_tables(self):
+        ranking = self.build(["x"])
+        older = {"static_rank": {"year": 2020, "num_tables": 0}}
+        newer = {"static_rank": {"year": 2022, "num_tables": 3}}
+        assert ranking.static_score(newer) > ranking.static_score(older)
+
+    def test_rare_term_scores_higher_than_common(self):
+        ranking = self.build(["masks masks", "masks again", "ventilator"])
+        parsed_rare = parse_query("ventilator")
+        parsed_common = parse_query("masks")
+        doc = {"search": {"title": "masks ventilator", "body": ""}}
+        assert ranking.score(parsed_rare, doc) > ranking.score(
+            parsed_common, doc
+        )
+
+
+class TestSnippets:
+    def test_highlight_wraps_matches(self):
+        parsed = parse_query("masks")
+        assert highlight("Masks matter", parsed) == "[[Masks]] matter"
+
+    def test_snippet_centers_on_match(self):
+        parsed = parse_query("ventilator")
+        text = ("x " * 100) + "the ventilator worked" + (" y" * 100)
+        excerpt = snippet(text, parsed)
+        assert "[[ventilator]]" in excerpt
+        assert excerpt.startswith("...")
+        assert excerpt.endswith("...")
+        assert len(excerpt) < 260
+
+    def test_snippet_empty_when_no_match(self):
+        parsed = parse_query("absentterm")
+        assert snippet("nothing to see here", parsed) == ""
+
+    def test_snippet_preserves_whole_words(self):
+        parsed = parse_query("needle")
+        text = "supercalifragilistic needle expialidocious"
+        excerpt = snippet(text, parsed, radius=3)
+        assert "supercalifragilistic" in excerpt
+
+
+@given(st.lists(st.lists(st.integers(0, 50), min_size=1, max_size=5),
+                min_size=1, max_size=4))
+def test_min_window_bounds(positions):
+    window = min_window(positions)
+    assert window is not None
+    flat = [p for ps in positions for p in ps]
+    assert 1 <= window <= max(flat) - min(flat) + 1

@@ -1,0 +1,118 @@
+"""Tests for positional features (f1..f7) and orientation detection."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tables.features import (
+    POSITIONAL_FEATURE_NAMES,
+    row_features,
+    table_features,
+)
+from repro.tables.model import Table
+from repro.tables.orientation import (
+    Orientation,
+    detect_orientation,
+    rows_for_classification,
+)
+
+HORIZONTAL = Table.from_grid(
+    [
+        ["Vaccine", "Doses", "Efficacy"],
+        ["Pfizer", "2", "95"],
+        ["Moderna", "2", "94"],
+        ["AstraZeneca", "2", "76"],
+    ],
+    header_rows=1,
+)
+
+# A genuine attribute-value layout: attribute names down the first column.
+VERTICAL = Table.from_grid(
+    [
+        ["Age", "45", "52", "61"],
+        ["Weight", "70", "82", "75"],
+        ["Dose", "10", "20", "10"],
+    ],
+)
+
+
+class TestRowFeatures:
+    def test_first_row(self):
+        features = row_features(HORIZONTAL, 0)
+        assert features.f2_num_cells == 3
+        assert features.f3_has_above is False
+        assert features.f4_has_below is True
+        assert features.f5_cells_above == 0
+        assert features.f6_cells_below == 3
+        assert features.f7_is_metadata is True
+
+    def test_middle_row(self):
+        features = row_features(HORIZONTAL, 1)
+        assert features.f3_has_above is True
+        assert features.f4_has_below is True
+        assert features.f5_cells_above == 3
+        assert features.f7_is_metadata is False
+
+    def test_last_row(self):
+        features = row_features(HORIZONTAL, 3)
+        assert features.f4_has_below is False
+        assert features.f6_cells_below == 0
+
+    def test_f1_applies_numeric_substitution(self):
+        features = row_features(HORIZONTAL, 1)
+        assert "INT" in features.f1_text
+        assert "Pfizer" in features.f1_text
+
+    def test_positional_vector_shape(self):
+        features = row_features(HORIZONTAL, 0)
+        assert len(features.positional) == len(POSITIONAL_FEATURE_NAMES)
+        assert features.positional == [3.0, 0.0, 1.0, 0.0, 3.0]
+
+    def test_table_features_covers_all_rows(self):
+        assert len(table_features(HORIZONTAL)) == HORIZONTAL.num_rows
+
+    def test_unlabeled_row_has_none_label(self):
+        table = Table.from_grid([["a", "b"]])
+        assert row_features(table, 0).f7_is_metadata is False
+
+
+class TestOrientation:
+    def test_horizontal_detected(self):
+        assert detect_orientation(HORIZONTAL) is Orientation.HORIZONTAL
+
+    def test_vertical_detected(self):
+        assert detect_orientation(VERTICAL) is Orientation.VERTICAL
+
+    def test_empty_table_defaults_horizontal(self):
+        assert detect_orientation(Table()) is Orientation.HORIZONTAL
+
+    def test_rows_for_classification_transposes_vertical(self):
+        orientation, rows = rows_for_classification(VERTICAL)
+        assert orientation is Orientation.VERTICAL
+        assert rows[0] == ["Age", "Weight", "Dose"]
+
+    def test_table_with_header_row_and_key_column_reads_horizontal(self):
+        # Scientific tables often carry both; horizontal must win the tie.
+        table = Table.from_grid([
+            ["Vaccine", "Doses", "Efficacy"],
+            ["Pfizer", "2", "95"],
+            ["Moderna", "2", "94"],
+        ])
+        assert detect_orientation(table) is Orientation.HORIZONTAL
+
+    def test_rows_for_classification_keeps_horizontal(self):
+        orientation, rows = rows_for_classification(HORIZONTAL)
+        assert orientation is Orientation.HORIZONTAL
+        assert rows[0] == ["Vaccine", "Doses", "Efficacy"]
+
+
+@given(st.integers(2, 6), st.integers(2, 6))
+def test_features_consistent_on_numeric_grids(rows, cols):
+    grid = [["header"] * cols] + [
+        [str(r * cols + c) for c in range(cols)] for r in range(rows - 1)
+    ]
+    table = Table.from_grid(grid, header_rows=1)
+    features = table_features(table)
+    assert all(f.f2_num_cells == cols for f in features)
+    # Interior rows always see neighbours above and below.
+    for interior in features[1:-1]:
+        assert interior.f3_has_above and interior.f4_has_below

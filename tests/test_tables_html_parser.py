@@ -1,0 +1,197 @@
+"""Tests for the HTML table fragment parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.tables.html_parser import parse_html_table, parse_html_tables
+
+SIMPLE = """
+<table>
+  <caption>Vaccine efficacy</caption>
+  <tr><th>Vaccine</th><th>Efficacy</th></tr>
+  <tr><td>Pfizer</td><td>95%</td></tr>
+  <tr><td>Moderna</td><td>94%</td></tr>
+</table>
+"""
+
+
+class TestBasicParsing:
+    def test_rows_and_cells(self):
+        table = parse_html_table(SIMPLE)
+        assert table.num_rows == 3
+        assert table.rows[1].texts == ["Pfizer", "95%"]
+
+    def test_caption(self):
+        assert parse_html_table(SIMPLE).caption == "Vaccine efficacy"
+
+    def test_header_rows_labeled_metadata(self):
+        table = parse_html_table(SIMPLE)
+        assert table.rows[0].is_metadata is True
+        assert table.rows[1].is_metadata is None
+
+    def test_paper_id_propagated(self):
+        table = parse_html_table(SIMPLE, paper_id="cord-123")
+        assert table.paper_id == "cord-123"
+
+    def test_no_table_raises(self):
+        with pytest.raises(ParseError):
+            parse_html_table("<p>no tables here</p>")
+
+    def test_entities_decoded(self):
+        html = "<table><tr><td>AT&amp;T</td><td>&lt;5</td></tr></table>"
+        assert parse_html_table(html).rows[0].texts == ["AT&T", "<5"]
+
+    def test_inline_markup_flattened(self):
+        html = ("<table><tr><td><b>bold</b> and <i>italic</i></td>"
+                "</tr></table>")
+        assert parse_html_table(html).rows[0].texts == ["bold and italic"]
+
+    def test_br_becomes_space(self):
+        html = "<table><tr><td>line1<br>line2</td></tr></table>"
+        assert parse_html_table(html).rows[0].texts == ["line1 line2"]
+
+    def test_whitespace_collapsed(self):
+        html = "<table><tr><td>  lots \n of   space </td></tr></table>"
+        assert parse_html_table(html).rows[0].texts == ["lots of space"]
+
+    def test_thead_tbody_sections(self):
+        html = """
+        <table>
+          <thead><tr><th>h1</th><th>h2</th></tr></thead>
+          <tbody><tr><td>a</td><td>b</td></tr></tbody>
+          <tfoot><tr><td>f1</td><td>f2</td></tr></tfoot>
+        </table>
+        """
+        table = parse_html_table(html)
+        assert table.num_rows == 3
+        assert table.rows[0].texts == ["h1", "h2"]
+
+    def test_empty_rows_dropped(self):
+        html = ("<table><tr><td></td><td></td></tr>"
+                "<tr><td>x</td><td>y</td></tr></table>")
+        table = parse_html_table(html)
+        assert table.num_rows == 1
+
+
+class TestSpans:
+    def test_colspan_expanded(self):
+        html = """
+        <table>
+          <tr><th colspan="2">Group</th><th>N</th></tr>
+          <tr><td>a</td><td>b</td><td>c</td></tr>
+        </table>
+        """
+        table = parse_html_table(html)
+        assert table.rows[0].texts == ["Group", "Group", "N"]
+        assert table.num_columns == 3
+
+    def test_rowspan_expanded(self):
+        html = """
+        <table>
+          <tr><td rowspan="2">Span</td><td>r1</td></tr>
+          <tr><td>r2</td></tr>
+        </table>
+        """
+        table = parse_html_table(html)
+        assert table.rows[0].texts == ["Span", "r1"]
+        assert table.rows[1].texts == ["Span", "r2"]
+
+    def test_invalid_span_value_defaults_to_one(self):
+        html = '<table><tr><td colspan="x">a</td><td>b</td></tr></table>'
+        assert parse_html_table(html).rows[0].texts == ["a", "b"]
+
+
+class TestMultipleTables:
+    HTML = """
+    <div>
+      <table><tr><td>first</td></tr></table>
+      <table><caption>second cap</caption><tr><td>second</td></tr></table>
+    </div>
+    """
+
+    def test_parse_all(self):
+        tables = parse_html_tables(self.HTML)
+        assert len(tables) == 2
+        assert tables[0].rows[0].texts == ["first"]
+        assert tables[1].caption == "second cap"
+        assert tables[1].table_id == "t1"
+
+    def test_single_parse_rejects_multiple(self):
+        with pytest.raises(ParseError):
+            parse_html_table(self.HTML)
+
+    def test_nested_table_content_ignored(self):
+        html = """
+        <table><tr><td>outer
+          <table><tr><td>inner</td></tr></table>
+        </td></tr></table>
+        """
+        tables = parse_html_tables(html)
+        assert len(tables) == 1
+        assert "outer" in tables[0].rows[0].texts[0]
+
+
+class TestMalformedHTML:
+    def test_unclosed_cells(self):
+        html = "<table><tr><td>a<td>b<tr><td>c</table>"
+        table = parse_html_table(html)
+        assert table.rows[0].texts == ["a", "b"]
+        assert table.rows[1].texts == ["c"]
+
+    def test_missing_tr(self):
+        html = "<table><td>orphan</td></table>"
+        table = parse_html_table(html)
+        assert table.rows[0].texts == ["orphan"]
+
+    def test_empty_fragment_raises(self):
+        with pytest.raises(ParseError):
+            parse_html_table("")
+
+
+class TestComplexStructures:
+    def test_combined_colspan_and_rowspan(self):
+        html = """
+        <table>
+          <tr><td colspan="2" rowspan="2">Block</td><td>r1c3</td></tr>
+          <tr><td>r2c3</td></tr>
+          <tr><td>a</td><td>b</td><td>c</td></tr>
+        </table>
+        """
+        table = parse_html_table(html)
+        assert table.rows[0].texts == ["Block", "Block", "r1c3"]
+        assert table.rows[1].texts == ["Block", "Block", "r2c3"]
+        assert table.rows[2].texts == ["a", "b", "c"]
+
+    def test_deeply_nested_inline_markup(self):
+        html = ("<table><tr><td><span><b><i>deep</i></b> text"
+                "<sup>1</sup></span></td></tr></table>")
+        assert parse_html_table(html).rows[0].texts == ["deep text1"]
+
+    def test_caption_after_rows_still_captured(self):
+        html = ("<table><tr><td>x</td></tr>"
+                "<caption>Late caption</caption></table>")
+        assert parse_html_table(html).caption == "Late caption"
+
+    def test_mixed_th_td_row_not_structurally_labeled(self):
+        html = ("<table><tr><th>name</th><td>alice</td></tr></table>")
+        table = parse_html_table(html)
+        # Mixed rows are ambiguous; the classifier decides, not structure.
+        assert table.rows[0].is_metadata is None
+
+    def test_three_sequential_rowspans(self):
+        html = """
+        <table>
+          <tr><td rowspan="3">S</td><td>1</td></tr>
+          <tr><td>2</td></tr>
+          <tr><td>3</td></tr>
+        </table>
+        """
+        table = parse_html_table(html)
+        assert [row.texts for row in table.rows] == [
+            ["S", "1"], ["S", "2"], ["S", "3"],
+        ]
+
+    def test_attribute_noise_tolerated(self):
+        html = ('<table class="x" style="width:1px">'
+                '<tr data-row="1"><td align="left">v</td></tr></table>')
+        assert parse_html_table(html).rows[0].texts == ["v"]

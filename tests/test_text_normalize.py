@@ -1,0 +1,113 @@
+"""Tests for the Section 3.4 numeric-normalization rules."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.normalize import NumericNormalizer, normalize_tuple
+
+
+class TestPaperRules:
+    """Each test exercises one substitution rule as the paper states it."""
+
+    def setup_method(self):
+        self.norm = NumericNormalizer()
+
+    def test_integer_zero(self):
+        assert self.norm.normalize("0") == "ZERO"
+
+    def test_decimal_zero(self):
+        assert self.norm.normalize("0.0") == "ZERO"
+
+    def test_zero_inside_fifty_is_not_zero(self):
+        # The paper calls this out: 0 in 50 is not the same as 0.0.
+        assert self.norm.normalize("50") == "INT"
+
+    def test_range_with_units_kept_then_rewritten(self):
+        assert self.norm.normalize("5-10 mg") == "RANGE MILLIGRAMS"
+
+    def test_range_without_units(self):
+        assert self.norm.normalize("18-65") == "RANGE"
+
+    def test_negative_integer(self):
+        assert self.norm.normalize("-12") == "NEG"
+
+    def test_hyphenated_word_is_not_negative(self):
+        assert self.norm.normalize("covid-19") == "covid-19"
+
+    def test_small_positive(self):
+        assert self.norm.normalize("0.37") == "SMALLPOS"
+
+    def test_float(self):
+        assert self.norm.normalize("3.14") == "FLOAT"
+
+    def test_int(self):
+        assert self.norm.normalize("1234") == "INT"
+
+    def test_percent_small_vs_int(self):
+        # The paper: 5% and 0.5% are substituted differently.
+        assert self.norm.normalize("5%") == "INT PERCENT"
+        assert self.norm.normalize("0.5%") == "SMALLPOS PERCENT"
+
+    def test_worded_date(self):
+        assert self.norm.normalize("March 12, 2020") == "DATE"
+
+    def test_worded_date_day_first(self):
+        assert self.norm.normalize("12 March 2020") == "DATE"
+
+    def test_numeric_date_form_is_not_handled(self):
+        # The paper explicitly does not handle mm/dd/yy.
+        assert "DATE" not in self.norm.normalize("03/12/20")
+
+    def test_less_and_greater(self):
+        assert self.norm.normalize("<5") == "LESS INT"
+        assert self.norm.normalize(">100") == "GREATER INT"
+
+    def test_time_unit(self):
+        assert self.norm.normalize("48 hours") == "HOURS"
+
+    def test_ml_unit(self):
+        assert self.norm.normalize("5 ml") == "MILLILITERS"
+
+    def test_kg_unit(self):
+        assert self.norm.normalize("70 kg") == "KILOGRAMS"
+
+    def test_mixed_sentence(self):
+        text = "5-10 mg twice, 0.5% of 120 patients"
+        assert self.norm.normalize(text) == (
+            "RANGE MILLIGRAMS twice, SMALLPOS PERCENT of INT patients"
+        )
+
+    def test_words_untouched(self):
+        assert self.norm.normalize("fever and cough") == "fever and cough"
+
+    def test_empty(self):
+        assert self.norm.normalize("") == ""
+
+
+class TestNormalizeTuple:
+    def test_each_cell_normalized_independently(self):
+        cells = ["Pfizer", "2 doses", "94.5%", "0"]
+        assert normalize_tuple(cells) == [
+            "Pfizer", "INT doses", "FLOAT PERCENT", "ZERO",
+        ]
+
+
+@given(st.text(max_size=120))
+def test_normalizer_never_raises(text):
+    NumericNormalizer().normalize(text)
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+def test_positive_integers_become_int(value):
+    assert NumericNormalizer().normalize(str(value)) == "INT"
+
+
+@given(st.integers(min_value=1, max_value=10**6))
+def test_negative_integers_become_neg(value):
+    assert NumericNormalizer().normalize(f"-{value}") == "NEG"
+
+
+@given(st.floats(min_value=0.001, max_value=0.999, allow_nan=False))
+def test_small_positive_floats(value):
+    text = f"{value:.3f}"
+    assert NumericNormalizer().normalize(text) == "SMALLPOS"

@@ -1,0 +1,128 @@
+"""Unit and property tests for the Porter stemmer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stemmer import PorterStemmer, stem
+
+# Canonical examples from Porter's 1980 paper.
+PORTER_PAPER_CASES = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+class TestPorterPaperExamples:
+    def test_all_paper_cases(self):
+        stemmer = PorterStemmer()
+        failures = [
+            (word, expected, stemmer.stem(word))
+            for word, expected in PORTER_PAPER_CASES
+            if stemmer.stem(word) != expected
+        ]
+        assert not failures, f"mis-stemmed: {failures}"
+
+
+class TestDomainTerms:
+    def test_medical_terms_share_stems(self):
+        assert stem("vaccinations") == stem("vaccination")
+        assert stem("infections") == stem("infection")
+        assert stem("ventilators") == stem("ventilator")
+
+    def test_short_words_untouched(self):
+        assert stem("as") == "as"
+        assert stem("a") == "a"
+        assert stem("flu") == "flu"
+
+    def test_stemming_is_case_insensitive(self):
+        assert stem("Masks") == stem("masks")
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+               min_size=1, max_size=30))
+def test_stemmer_is_idempotent_on_its_output_for_plurals(word):
+    # Porter is not idempotent in general, but stems are never longer than
+    # the input and always non-empty for non-empty input.
+    result = stem(word)
+    assert result
+    assert len(result) <= len(word)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+               min_size=1, max_size=30))
+def test_stemmer_never_raises(word):
+    stem(word)
+    stem(word.upper())

@@ -1,0 +1,96 @@
+"""Unit and property tests for repro.text.tokenizer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import QueryToken, sentences, tokenize, tokenize_query
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("Masks reduce transmission") == [
+            "masks", "reduce", "transmission",
+        ]
+
+    def test_hyphenated_terms_stay_joined(self):
+        assert tokenize("COVID-19 side-effects") == ["covid-19", "side-effects"]
+
+    def test_decimals_survive(self):
+        assert tokenize("efficacy was 94.5 percent") == [
+            "efficacy", "was", "94.5", "percent",
+        ]
+
+    def test_punctuation_is_dropped(self):
+        assert tokenize("fever, cough; fatigue!") == ["fever", "cough", "fatigue"]
+
+    def test_empty_and_whitespace(self):
+        assert tokenize("") == []
+        assert tokenize("   \t\n ") == []
+
+    def test_case_preserved_when_requested(self):
+        assert tokenize("mRNA Vaccine", lowercase=False) == ["mRNA", "Vaccine"]
+
+    def test_slash_joined_token(self):
+        assert tokenize("mm/dd/yy format") == ["mm/dd/yy", "format"]
+
+
+class TestSentences:
+    def test_split_on_terminal_punctuation(self):
+        text = "Masks work. Vaccines work too! Do boosters help? Yes."
+        assert sentences(text) == [
+            "Masks work.", "Vaccines work too!", "Do boosters help?", "Yes.",
+        ]
+
+    def test_single_sentence(self):
+        assert sentences("One sentence only") == ["One sentence only"]
+
+    def test_empty(self):
+        assert sentences("") == []
+
+    def test_abbreviation_not_split_before_lowercase(self):
+        # The lookahead requires an upper-case/numeral start for a split.
+        assert sentences("approx. five days later") == [
+            "approx. five days later",
+        ]
+
+
+class TestTokenizeQuery:
+    def test_plain_terms(self):
+        tokens = tokenize_query("masks ventilators")
+        assert tokens == [
+            QueryToken("masks", exact=False),
+            QueryToken("ventilators", exact=False),
+        ]
+
+    def test_quoted_phrase_is_exact(self):
+        tokens = tokenize_query('"mechanical ventilation"')
+        assert tokens == [QueryToken("mechanical ventilation", exact=True)]
+
+    def test_mixed_order_is_preserved(self):
+        tokens = tokenize_query('masks "icu beds" oxygen')
+        assert [t.text for t in tokens] == ["masks", "icu beds", "oxygen"]
+        assert [t.exact for t in tokens] == [False, True, False]
+
+    def test_empty_quotes_are_ignored(self):
+        assert tokenize_query('masks ""') == [QueryToken("masks", exact=False)]
+
+    def test_phrase_words_property(self):
+        token = QueryToken("mechanical ventilation", exact=True)
+        assert token.words == ["mechanical", "ventilation"]
+
+    def test_empty_query(self):
+        assert tokenize_query("") == []
+
+
+@given(st.text(max_size=200))
+def test_tokenize_never_raises_and_lowercases(text):
+    for token in tokenize(text):
+        assert token == token.lower()
+        assert token  # never empty
+
+
+@given(st.text(max_size=200))
+def test_query_tokens_roundtrip_types(text):
+    for token in tokenize_query(text):
+        assert isinstance(token, QueryToken)
+        assert token.text == token.text.lower()

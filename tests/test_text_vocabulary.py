@@ -1,0 +1,103 @@
+"""Tests for the frequency-ranked Vocabulary feature space."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.text.vocabulary import UNKNOWN_INDEX, UNKNOWN_TOKEN, Vocabulary
+
+
+def build(texts, **kwargs):
+    return Vocabulary.from_texts(texts, **kwargs)
+
+
+class TestConstruction:
+    def test_frequency_order(self):
+        vocab = build(["cough cough cough fever fever rash"],
+                      drop_stopwords=False)
+        assert vocab.term_at(1) == "cough"
+        assert vocab.term_at(2) == "fever"
+        assert vocab.term_at(3) == "rash"
+
+    def test_index_zero_is_unknown(self):
+        vocab = build(["fever"])
+        assert vocab.term_at(UNKNOWN_INDEX) == UNKNOWN_TOKEN
+        assert vocab.index_of("neverseen") == UNKNOWN_INDEX
+
+    def test_stopwords_dropped_by_default(self):
+        vocab = build(["the the the fever"])
+        assert "the" not in vocab
+        assert "fever" in vocab
+
+    def test_stopwords_kept_when_disabled(self):
+        vocab = build(["the fever"], drop_stopwords=False)
+        assert "the" in vocab
+
+    def test_max_terms_cutoff(self):
+        texts = [" ".join(f"term{i}" for i in range(100))]
+        vocab = build(texts, max_terms=11)
+        assert len(vocab) == 11  # 10 terms + UNK
+
+    def test_min_count_cutoff(self):
+        vocab = build(["common common rare"], min_count=2)
+        assert "common" in vocab
+        assert "rare" not in vocab
+
+    def test_invalid_max_terms(self):
+        with pytest.raises(ModelError):
+            Vocabulary(max_terms=0)
+
+
+class TestEncode:
+    def test_encode_roundtrip(self):
+        vocab = build(["fever cough fever"])
+        encoded = vocab.encode("fever cough unknownword")
+        assert encoded[0] == vocab.index_of("fever")
+        assert encoded[1] == vocab.index_of("cough")
+        assert encoded[2] == UNKNOWN_INDEX
+
+    def test_encode_before_build_raises(self):
+        vocab = Vocabulary()
+        vocab.add_text("fever")
+        with pytest.raises(ModelError):
+            vocab.encode("fever")
+
+    def test_encode_is_case_insensitive(self):
+        vocab = build(["Fever"])
+        assert vocab.index_of("FEVER") == vocab.index_of("fever")
+
+
+class TestTruncated:
+    def test_truncation_keeps_most_frequent_prefix(self):
+        vocab = build(["a1 a1 a1 b2 b2 c3"], drop_stopwords=False)
+        small = vocab.truncated(2)  # UNK + 1 term
+        assert len(small) == 2
+        assert small.term_at(1) == "a1"
+
+    def test_truncation_preserves_counts(self):
+        vocab = build(["x9 x9 y8"])
+        small = vocab.truncated(3)
+        assert small.count_of("x9") == 2
+
+
+@given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=5),
+                min_size=1, max_size=50))
+def test_indexes_are_dense_and_unique(tokens):
+    vocab = Vocabulary(drop_stopwords=False)
+    vocab.add_tokens(tokens)
+    vocab.build()
+    indexes = [vocab.index_of(t) for t in set(tokens)]
+    assert sorted(indexes) == list(range(1, len(set(tokens)) + 1))
+
+
+@given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=5),
+                min_size=1, max_size=50),
+       st.integers(min_value=1, max_value=20))
+def test_truncated_is_prefix_of_full(tokens, cutoff):
+    vocab = Vocabulary(drop_stopwords=False)
+    vocab.add_tokens(tokens)
+    vocab.build()
+    small = vocab.truncated(cutoff)
+    for index in range(1, len(small)):
+        assert small.term_at(index) == vocab.term_at(index)
