@@ -25,13 +25,15 @@ pipelines), :mod:`repro.text` (tokenizer/stemmer/TF-IDF/normalizer),
 :mod:`repro.embeddings` (Word2Vec + tabular embeddings),
 :mod:`repro.classify` (the Figure 3 BiGRU ensemble + SVM),
 :mod:`repro.search` (the three engines), :mod:`repro.kg` (the knowledge
-graph, fusion, meta-profiles), :mod:`repro.api` (the system facade).
+graph, fusion, meta-profiles), :mod:`repro.api` (the system facade),
+:mod:`repro.serve` (the concurrent query-serving tier).
 """
 
 from repro.api.system import CovidKG, CovidKGConfig
 from repro.corpus.generator import CorpusGenerator, GeneratorConfig
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.ontology import seed_covid_graph
+from repro.serve.service import QueryService, ServeConfig
 
 __version__ = "1.0.0"
 
@@ -41,6 +43,8 @@ __all__ = [
     "CorpusGenerator",
     "GeneratorConfig",
     "KnowledgeGraph",
+    "QueryService",
+    "ServeConfig",
     "seed_covid_graph",
     "__version__",
 ]

@@ -11,6 +11,7 @@ Layout of a saved system:
         word2vec.npz         trained embeddings + vocabulary (if trained)
         classifier.npz       trained metadata SVM (if trained)
         manifest.json        model-registry index
+        versions.json        docstore/KG mutation counters at save time
 
 ``load_system`` rebuilds the sharded store, re-indexes all three search
 engines from the stored publications, and re-attaches the trained models,
@@ -58,6 +59,16 @@ def save_system(system: CovidKG, directory: str | Path) -> Path:
         # classifier is retrained from the saved embeddings on reload.
         system.classifier.save(directory / "classifier.npz")
     system.registry.save_manifest(directory / "manifest.json")
+
+    # Record the mutation counters so a reloaded system resumes *past*
+    # them: a result cache keyed against the saved system's snapshots can
+    # then never alias a post-reload state (see repro.serve).
+    with open(directory / "versions.json", "w",
+              encoding="utf-8") as handle:
+        json.dump({
+            "store": system.store.version,
+            "kg": system.graph.version,
+        }, handle, indent=2)
     return directory
 
 
@@ -124,4 +135,19 @@ def load_system(directory: str | Path) -> CovidKG:
                 system.title_abstract.add_paper(document)
                 system.tables.add_paper(document)
                 system._ingested_papers.append(document)
+
+    versions_path = directory / "versions.json"
+    if versions_path.exists():
+        with open(versions_path, encoding="utf-8") as handle:
+            try:
+                versions = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise PersistenceError(
+                    f"corrupt versions file: {exc}"
+                ) from exc
+        # The rebuild above re-ran every insert, so the counters already
+        # moved; advance to at least one past the saved values so no
+        # cache entry from the previous process can ever read as fresh.
+        system.store.advance_version(int(versions.get("store", 0)) + 1)
+        system.graph.advance_version(int(versions.get("kg", 0)) + 1)
     return system

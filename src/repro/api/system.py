@@ -25,6 +25,7 @@ from repro.classify.bigru_model import NeuralMetadataClassifier
 from repro.classify.dataset import MetadataDataset
 from repro.classify.svm_model import SvmMetadataClassifier
 from repro.corpus.schema import full_text, validate_paper
+from repro.docstore.functions import FunctionRegistry
 from repro.docstore.persistence import StorageReport, storage_report
 from repro.docstore.sharding import ShardedCollection
 from repro.embeddings.word2vec import Word2Vec
@@ -78,10 +79,15 @@ class CovidKG:
             num_shards=self.config.num_shards,
         )
         self.store.create_index("paper_id", unique=True)
-        # Section 2.1: the three search engines.
-        self.all_fields = AllFieldsEngine()
-        self.title_abstract = TitleAbstractCaptionEngine()
-        self.tables = TableSearchEngine()
+        # Section 2.1: the three search engines, sharing one per-system
+        # $function registry (seeded from the global defaults) so ranking
+        # functions registered here never leak into another system.
+        self.functions = FunctionRegistry.with_defaults()
+        self.all_fields = AllFieldsEngine(registry=self.functions)
+        self.title_abstract = TitleAbstractCaptionEngine(
+            registry=self.functions
+        )
+        self.tables = TableSearchEngine(registry=self.functions)
         # Section 4: matching/fusion/review/enrichment.
         self.review_queue = ExpertReviewQueue()
         self.matcher = NodeMatcher(self.graph)
@@ -263,6 +269,17 @@ class CovidKG:
         from repro.kg.browse import BrowserSession  # noqa: PLC0415
 
         return BrowserSession(self.graph)
+
+    def serve(self, config: "ServeConfig | None" = None) -> "QueryService":
+        """Wrap this system in the concurrent query-serving tier.
+
+        Returns a :class:`~repro.serve.service.QueryService` with result
+        caching, bounded admission, and request metrics — the layer the
+        covidkg.org front end would talk to.
+        """
+        from repro.serve.service import QueryService  # noqa: PLC0415
+
+        return QueryService(self, config)
 
     def explain_node(self, node_id: str,
                      max_papers: int = 5) -> dict[str, Any]:

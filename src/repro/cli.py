@@ -6,9 +6,10 @@ Subcommands:
 * ``build``     — train + ingest a corpus and save the system
 * ``search``    — all-fields search against a saved system
 * ``tables``    — table search against a saved system
-* ``kg``        — knowledge-graph search with path highlighting
-* ``stats``     — system dashboard
-* ``bias``      — run the bias interrogation
+* ``kg``          — knowledge-graph search with path highlighting
+* ``stats``       — system dashboard
+* ``bias``        — run the bias interrogation
+* ``serve-stats`` — drive queries through the serving tier, print metrics
 
 Example session::
 
@@ -97,6 +98,44 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flatten_stats(stats: dict, prefix: str = "") -> list[tuple[str, object]]:
+    lines: list[tuple[str, object]] = []
+    for key, value in stats.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            lines.extend(_flatten_stats(value, path))
+        else:
+            lines.append((path, value))
+    return lines
+
+
+def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    from repro.serve.service import QueryService, ServeConfig
+
+    system = load_system(args.system)
+    config = ServeConfig(num_workers=args.workers)
+    with QueryService(system, config) as service:
+        # Warm the cache once so the concurrent burst below exercises
+        # hits; firing all requests cold would just stampede misses.
+        service.query("all_fields", query=args.query, page=1)
+        futures = [
+            service.submit("all_fields", query=args.query, page=1)
+            for _ in range(args.requests)
+        ]
+        for future in futures:
+            future.result()
+        served = service.query("all_fields", query=args.query, page=1)
+        print(f"{served.value.total_matches} matches for {args.query!r} "
+              f"({'cached' if served.cached else 'cold'}, "
+              f"{served.seconds * 1000:.2f} ms)")
+        for path, value in _flatten_stats(service.stats()):
+            if isinstance(value, float):
+                print(f"{path}: {value:.3f}")
+            else:
+                print(f"{path}: {value}")
+    return 0
+
+
 def _cmd_bias(args: argparse.Namespace) -> int:
     system = load_system(args.system)
     report = system.interrogate_bias(num_clusters=args.clusters)
@@ -154,6 +193,17 @@ def build_parser() -> argparse.ArgumentParser:
     bias.add_argument("--clusters", type=int, default=8)
     bias.add_argument("--top", type=int, default=10)
     bias.set_defaults(func=_cmd_bias)
+
+    serve_stats = sub.add_parser(
+        "serve-stats",
+        help="run queries through the serving tier and print its metrics",
+    )
+    serve_stats.add_argument("--system", required=True)
+    serve_stats.add_argument("--requests", type=int, default=50,
+                             help="number of requests to issue")
+    serve_stats.add_argument("--workers", type=int, default=4)
+    serve_stats.add_argument("query")
+    serve_stats.set_defaults(func=_cmd_serve_stats)
     return parser
 
 

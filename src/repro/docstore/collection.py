@@ -154,6 +154,27 @@ class Collection:
         self._sorted_indexes: dict[str, SortedFieldIndex] = {}
         self._text_index: TextIndex | None = None
         self.scan_count = 0
+        self._version = 0
+
+    # -- versioning -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (insert/update/delete/replace).
+
+        Result caches key their entries to this counter: any write makes
+        every previously computed read stale, which the serving tier
+        (:mod:`repro.serve`) detects by comparing snapshots.
+        """
+        return self._version
+
+    def advance_version(self, floor: int) -> None:
+        """Raise the version to at least ``floor`` (never lowers it).
+
+        Used when restoring a saved system so a cache keyed against the
+        pre-save counters can never alias the reloaded state.
+        """
+        self._version = max(self._version, floor)
 
     # -- index management -------------------------------------------------
 
@@ -211,6 +232,7 @@ class Collection:
         if self._text_index is not None:
             self._text_index.add(doc_id, document)
         self._documents[doc_id] = document
+        self._version += 1
         return doc_id
 
     def insert_many(self, documents: Iterable[dict[str, Any]]) -> list[Any]:
@@ -241,6 +263,7 @@ class Collection:
             sorted_index.remove(doc_id)
         if self._text_index is not None:
             self._text_index.remove(doc_id)
+        self._version += 1
 
     def update_one(self, query: dict[str, Any],
                    update: dict[str, Any], upsert: bool = False) -> int:
@@ -317,6 +340,7 @@ class Collection:
                 new_doc["_id"] = doc_id
                 self._documents[doc_id] = new_doc
                 self._reindex(doc_id)
+                self._version += 1
                 return 1
         return 0
 
@@ -338,6 +362,7 @@ class Collection:
                     raise DocumentError("_id is immutable")
                 applier(document, path, operand)
         self._reindex(doc_id)
+        self._version += 1
 
     def _reindex(self, doc_id: Any) -> None:
         document = self._documents[doc_id]

@@ -14,18 +14,25 @@ from repro.docstore.aggregation import (
     aggregate,
 )
 from repro.docstore.collection import Collection
-from repro.docstore.functions import FunctionRegistry, default_registry
+from repro.docstore.functions import FunctionRegistry
 from repro.docstore.sharding import HashSharder, RangeSharder, ShardedCollection
 from repro.errors import ShardingError
 
 
 class Database:
-    """A named set of collections plus a shared ``$function`` registry."""
+    """A named set of collections plus a shared ``$function`` registry.
+
+    Each database gets its *own* registry (seeded from
+    ``default_registry`` at construction) unless one is passed in, so
+    ``$function`` registrations made through one database never leak
+    into another.
+    """
 
     def __init__(self, name: str,
                  registry: FunctionRegistry | None = None) -> None:
         self.name = name
-        self.registry = registry or default_registry
+        self.registry = (registry if registry is not None
+                         else FunctionRegistry.with_defaults())
         self._collections: dict[str, Collection | ShardedCollection] = {}
 
     def collection(self, name: str) -> Collection:
@@ -173,7 +180,10 @@ class Client:
     """Top-level entry point holding named databases."""
 
     def __init__(self, registry: FunctionRegistry | None = None) -> None:
-        self.registry = registry or default_registry
+        # One registry per client, shared by its databases; seeded from
+        # the defaults so global registrations stay visible.
+        self.registry = (registry if registry is not None
+                         else FunctionRegistry.with_defaults())
         self._databases: dict[str, Database] = {}
 
     def database(self, name: str) -> Database:

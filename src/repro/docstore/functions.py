@@ -35,6 +35,10 @@ class FunctionRegistry:
         self._functions[name] = function
         return function
 
+    def unregister(self, name: str) -> None:
+        """Forget ``name`` (no-op when absent) — for per-query functions."""
+        self._functions.pop(name, None)
+
     def get(self, name: str) -> PipelineFunction:
         try:
             return self._functions[name]
@@ -50,6 +54,25 @@ class FunctionRegistry:
     def names(self) -> list[str]:
         return sorted(self._functions)
 
+    def copy(self) -> "FunctionRegistry":
+        """An independent registry with the same functions registered."""
+        clone = FunctionRegistry()
+        clone._functions.update(self._functions)
+        return clone
+
+    @classmethod
+    def with_defaults(cls) -> "FunctionRegistry":
+        """A fresh registry seeded from :data:`default_registry`.
+
+        Each ``Database``/``CovidKG`` gets one of these, so ``$function``
+        registrations made inside one system cannot leak into another —
+        while functions registered on ``default_registry`` *before* the
+        system was created remain visible to it.
+        """
+        return default_registry.copy()
+
 
 #: Registry shared by default across pipelines (callers may pass their own).
+#: Systems snapshot it at construction via :meth:`with_defaults`; register
+#: globally-shared functions here before building systems.
 default_registry = FunctionRegistry()

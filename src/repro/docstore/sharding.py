@@ -87,6 +87,27 @@ class ShardedCollection:
         ]
         self._index_specs: list[tuple[str, bool]] = []
         self._text_index_paths: list[str] | None = None
+        self._version_offset = 0
+
+    # -- versioning -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter across every shard.
+
+        The sum of the per-shard counters plus an offset that keeps the
+        value monotonic through :meth:`rebalance` (which rebuilds the
+        shard list) and :meth:`advance_version` (restore-from-disk).
+        """
+        return self._version_offset + sum(
+            shard.version for shard in self.shards
+        )
+
+    def advance_version(self, floor: int) -> None:
+        """Raise the version to at least ``floor`` (never lowers it)."""
+        current = self.version
+        if current < floor:
+            self._version_offset += floor - current
 
     # -- routing ----------------------------------------------------------
 
@@ -200,6 +221,11 @@ class ShardedCollection:
         """Re-shard all documents onto ``num_shards`` shards."""
         new_sharder = self.sharder.with_shards(num_shards)
         documents = list(self.all_documents())
+        # Fresh shards restart their counters at zero; carry the old total
+        # forward (plus one for the rebalance itself) so the collection
+        # version never moves backwards.
+        version_floor = self.version + 1
+        self._version_offset = 0
         self.sharder = new_sharder
         self.shards = [
             Collection(f"{self.name}.shard{i}") for i in range(num_shards)
@@ -212,6 +238,7 @@ class ShardedCollection:
                 shard.create_text_index(self._text_index_paths)
         for document in documents:
             self._route(document).insert_one(document)
+        self.advance_version(version_floor)
 
     @property
     def total_scan_count(self) -> int:

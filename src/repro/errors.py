@@ -66,3 +66,19 @@ class FusionError(GraphError):
 
 class RegistryError(ReproError):
     """Lookup in the pre-trained model/embedding registry failed."""
+
+
+class ServiceError(ReproError):
+    """The query-serving tier rejected or failed a request."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The admission queue is full; the request was shed, not queued."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline passed before it could be executed."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service has been shut down and accepts no new requests."""

@@ -110,6 +110,11 @@ class FusionEngine:
         """Apply the Section 4.2 rules to one subtree."""
         result = self._fuse(subtree)
         self.results.append(result)
+        if result.action in ("merged", "auto_approved"):
+            # Leaf merges write provenance straight onto existing nodes,
+            # bypassing the graph's mutation counter; record the write so
+            # cached KG query results are invalidated.
+            self.graph.touch()
         return result
 
     def _fuse(self, subtree: ExtractedSubtree) -> FusionResult:

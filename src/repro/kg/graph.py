@@ -24,7 +24,29 @@ class KnowledgeGraph:
         self._nodes: dict[str, KGNode] = {}
         self._by_normalized: dict[str, list[str]] = {}
         self._counter = itertools.count(1)
+        self._version = 0
         self.root_id = self._create_node(root_label, parent_id=None)
+
+    # -- versioning -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic write counter; bumped on every structural change.
+
+        Provenance-only writes (fusion merging papers into existing
+        nodes) happen on the nodes directly, so the fusion engine calls
+        :meth:`touch` for those.  Result caches compare snapshots of this
+        counter to detect stale KG query results.
+        """
+        return self._version
+
+    def touch(self) -> None:
+        """Record an out-of-band mutation (e.g. node provenance writes)."""
+        self._version += 1
+
+    def advance_version(self, floor: int) -> None:
+        """Raise the version to at least ``floor`` (never lowers it)."""
+        self._version = max(self._version, floor)
 
     # -- construction ----------------------------------------------------------
 
@@ -37,6 +59,7 @@ class KnowledgeGraph:
         self._by_normalized.setdefault(node.normalized, []).append(node_id)
         if parent_id is not None:
             self._nodes[parent_id].children.append(node_id)
+        self._version += 1
         return node_id
 
     def add_node(self, label: str, parent_id: str | None = None,
@@ -69,6 +92,7 @@ class KnowledgeGraph:
         # _create_node already appended new_id to old_parent's children.
         self._nodes[new_id].children.append(child_id)
         child.parent_id = new_id
+        self._version += 1
         return new_id
 
     # -- access ------------------------------------------------------------
@@ -173,6 +197,7 @@ class KnowledgeGraph:
             if node.node_id.startswith("n") and node.node_id[1:].isdigit()
         ]
         graph._counter = itertools.count(max(numeric, default=0) + 1)
+        graph._version = len(nodes)
         graph.root_id = root_id
         graph._validate()
         return graph

@@ -12,6 +12,7 @@ Pipeline shape (paper Section 2.1, verbatim design):
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -80,6 +81,7 @@ class SearchEngineBase:
         self.expander = expander
         self.ranking = RankingFunction(self.tfidf, expander=expander)
         self._indexed = 0
+        self._rank_serial = itertools.count(1)
 
     # -- ingest -------------------------------------------------------------
 
@@ -120,7 +122,10 @@ class SearchEngineBase:
         """Execute the canonical pipeline; returns (page, total, seconds)."""
         if page < 1:
             raise QueryError("pages are 1-based")
-        function_name = f"rank_{id(self)}"
+        # A per-invocation name: concurrent queries against the same
+        # engine (the serving tier runs readers in parallel) must not
+        # overwrite each other's scorer between register and evaluate.
+        function_name = f"rank_{id(self)}_{next(self._rank_serial)}"
         self.registry.register(
             function_name, self.ranking.scorer(parsed, rank_fields)
         )
@@ -131,12 +136,15 @@ class SearchEngineBase:
             {"$function": {"name": function_name, "as": "score"}},
             {"$sort": {"score": -1}},
         ]
-        ranked = aggregate(self.collection, stages, self.registry)
-        total = len(ranked.documents)
-        paged = aggregate(ranked.documents, [
-            {"$skip": (page - 1) * PAGE_SIZE},
-            {"$limit": PAGE_SIZE},
-        ], self.registry)
+        try:
+            ranked = aggregate(self.collection, stages, self.registry)
+            total = len(ranked.documents)
+            paged = aggregate(ranked.documents, [
+                {"$skip": (page - 1) * PAGE_SIZE},
+                {"$limit": PAGE_SIZE},
+            ], self.registry)
+        finally:
+            self.registry.unregister(function_name)
         seconds = time.perf_counter() - started
         paged.stages = ranked.stages + paged.stages
         return paged, total, seconds

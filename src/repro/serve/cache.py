@@ -1,0 +1,154 @@
+"""Normalized-request result cache: LRU + TTL + version invalidation.
+
+The serving tier caches fully-computed query results keyed on
+``(engine, canonical query, page)``.  Three mechanisms keep entries
+correct and bounded:
+
+* **Canonicalization** — ``"  Vaccine   SIDE effects "`` and
+  ``"vaccine side effects"`` hit the same entry, so repeated interactive
+  queries share work regardless of spacing/case.
+* **Version invalidation** — every entry records the data-version
+  snapshot (docstore + KG counters) it was computed against; a lookup
+  whose current snapshot differs is a miss and evicts the stale entry.
+* **LRU + TTL** — at most ``max_entries`` live at once (least recently
+  used evicted first) and nothing older than ``ttl_seconds`` is served.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+#: Cache key: (engine name, canonical parameter tuple).
+CacheKey = tuple[str, tuple[Any, ...]]
+
+#: Data-version snapshot the cached value was computed against.
+VersionSnapshot = tuple[int, ...]
+
+
+def canonical_text(text: str) -> str:
+    """Lower-case and collapse runs of whitespace: the query normal form."""
+    return " ".join(text.split()).lower()
+
+
+def canonical_params(params: dict[str, Any]) -> tuple[Any, ...]:
+    """A hashable, order-insensitive normal form of request parameters.
+
+    String values are canonicalized as query text; ``None`` values (an
+    unused search field) are dropped so ``title="x"`` and
+    ``title="x", abstract=None`` share an entry.
+    """
+    items = []
+    for name in sorted(params):
+        value = params[name]
+        if value is None:
+            continue
+        if isinstance(value, str):
+            value = canonical_text(value)
+        items.append((name, value))
+    return tuple(items)
+
+
+def request_key(engine: str, params: dict[str, Any]) -> CacheKey:
+    """The cache key for one normalized request."""
+    return (engine, canonical_params(params))
+
+
+@dataclass
+class CacheStats:
+    """Counters the metrics layer folds into ``QueryService.stats()``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    expirations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "expirations": self.expirations,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    versions: VersionSnapshot
+    expires_at: float
+    stored_at: float = field(default=0.0)
+
+
+class ResultCache:
+    """Thread-safe LRU + TTL cache with data-version invalidation."""
+
+    def __init__(self, max_entries: int = 512,
+                 ttl_seconds: float = 300.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: CacheKey,
+            versions: VersionSnapshot) -> tuple[bool, Any]:
+        """Look up ``key`` against the current data ``versions``.
+
+        Returns ``(hit, value)``.  An entry computed against different
+        versions (data changed since) or past its TTL is removed and
+        reported as a miss.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return False, None
+            if entry.versions != versions:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return False, None
+            if now >= entry.expires_at:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True, entry.value
+
+    def put(self, key: CacheKey, versions: VersionSnapshot,
+            value: Any) -> None:
+        now = self._clock()
+        with self._lock:
+            self._entries[key] = _Entry(
+                value=value, versions=versions,
+                expires_at=now + self.ttl_seconds, stored_at=now,
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,147 @@
+"""Per-request observability: counters and latency histograms.
+
+``QueryService.stats()`` is built from these primitives.  The histogram
+keeps a bounded reservoir of recent samples (plus exact count/sum/min/
+max), so percentile queries stay O(reservoir) regardless of how many
+requests the service has handled.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Any
+
+#: Percentiles ``snapshot()`` reports, as (label, fraction).
+REPORTED_PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class LatencyHistogram:
+    """Bounded-memory latency tracker with percentile queries.
+
+    Records seconds; reports milliseconds.  The last ``capacity``
+    samples form the percentile reservoir — enough resolution for a
+    serving dashboard without unbounded growth.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._samples: list[float] = []
+        self._cursor = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if self.min is None or seconds < self.min:
+                self.min = seconds
+            if self.max is None or seconds > self.max:
+                self.max = seconds
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+            else:  # ring buffer: overwrite the oldest sample
+                self._samples[self._cursor] = seconds
+                self._cursor = (self._cursor + 1) % self.capacity
+
+    def percentile(self, fraction: float) -> float | None:
+        """Nearest-rank percentile over the reservoir, in seconds."""
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1,
+                   max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def mean(self) -> float | None:
+        with self._lock:
+            if not self.count:
+                return None
+            return self.total / self.count
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counts and millisecond latency figures for dashboards."""
+        result: dict[str, Any] = {"count": self.count}
+        mean = self.mean
+        result["mean_ms"] = None if mean is None else mean * 1000.0
+        for label, fraction in REPORTED_PERCENTILES:
+            value = self.percentile(fraction)
+            result[f"{label}_ms"] = (
+                None if value is None else value * 1000.0
+            )
+        result["max_ms"] = None if self.max is None else self.max * 1000.0
+        return result
+
+
+class ServiceMetrics:
+    """All counters/histograms for one :class:`QueryService`."""
+
+    def __init__(self, histogram_capacity: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._histogram_capacity = histogram_capacity
+        self.requests: Counter[str] = Counter()
+        self.errors: Counter[str] = Counter()
+        self.shed = 0
+        self.deadline_exceeded = 0
+        self.retries = 0
+        self.overall = LatencyHistogram(histogram_capacity)
+        self._per_engine: dict[str, LatencyHistogram] = {}
+
+    def record_request(self, engine: str) -> None:
+        with self._lock:
+            self.requests[engine] += 1
+
+    def record_error(self, engine: str) -> None:
+        with self._lock:
+            self.errors[engine] += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_deadline_exceeded(self) -> None:
+        with self._lock:
+            self.deadline_exceeded += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_latency(self, engine: str, seconds: float) -> None:
+        self.overall.observe(seconds)
+        self.histogram(engine).observe(seconds)
+
+    def histogram(self, engine: str) -> LatencyHistogram:
+        with self._lock:
+            histogram = self._per_engine.get(engine)
+            if histogram is None:
+                histogram = LatencyHistogram(self._histogram_capacity)
+                self._per_engine[engine] = histogram
+            return histogram
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            requests = dict(self.requests)
+            errors = dict(self.errors)
+            engines = dict(self._per_engine)
+        return {
+            "requests": requests,
+            "total_requests": sum(requests.values()),
+            "errors": errors,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "retries": self.retries,
+            "latency": {
+                "overall": self.overall.snapshot(),
+                **{name: histogram.snapshot()
+                   for name, histogram in sorted(engines.items())},
+            },
+        }

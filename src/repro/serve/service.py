@@ -1,0 +1,284 @@
+"""``QueryService``: the concurrent serving tier over a built CovidKG.
+
+Request path (every engine the web front end exposes):
+
+1. the request is **normalized** (case/whitespace-folded, parameters
+   sorted) into a cache key ``(engine, canonical params)``;
+2. the **result cache** is consulted against the current data-version
+   snapshot — a hit returns the stored page without touching the
+   aggregation pipelines;
+3. a miss is **admitted** to a bounded worker pool (shed with
+   :class:`ServiceOverloadedError` when the queue is full, dropped with
+   :class:`DeadlineExceededError` when its deadline lapses in queue);
+4. execution runs under a reader lock (ingest takes the writer side),
+   with transient shard errors retried with backoff;
+5. counters and latency histograms record the outcome for
+   :meth:`QueryService.stats`.
+
+Invalidation needs no explicit flush: every mutation bumps a version
+counter (``Collection``/``ShardedCollection`` on document writes, the
+``KnowledgeGraph`` on fusion/node writes), and cached entries remember
+the snapshot they were computed under.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueryError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ShardingError,
+)
+from repro.serve.admission import ReadWriteLock, WorkerPool, retry_call
+from repro.serve.cache import ResultCache, request_key
+from repro.serve.metrics import ServiceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.system import CovidKG
+    from repro.kg.enrichment import EnrichmentReport
+
+#: Engines a request may target.
+ENGINES = ("all_fields", "title_abstract", "table", "kg", "meta_profile")
+
+
+@dataclass
+class ServeConfig:
+    """Serving-tier knobs (sized for a laptop; scale up per host)."""
+
+    num_workers: int = 4
+    max_queue: int = 64
+    cache_entries: int = 512
+    cache_ttl_seconds: float = 300.0
+    default_timeout_seconds: float | None = None
+    retries: int = 2
+    retry_backoff_seconds: float = 0.05
+    histogram_capacity: int = 2048
+
+
+@dataclass
+class ServedResult:
+    """A query answer plus serving metadata."""
+
+    engine: str
+    value: Any
+    cached: bool
+    seconds: float
+    versions: tuple[int, ...] = field(default_factory=tuple)
+
+
+class QueryService:
+    """Concurrent, cached query serving over one :class:`CovidKG`.
+
+    >>> from repro.api.system import CovidKG
+    >>> from repro.corpus.generator import CorpusGenerator
+    >>> system = CovidKG()
+    >>> _ = system.ingest(CorpusGenerator().papers(8))
+    >>> service = QueryService(system)
+    >>> page = service.query("all_fields", query="covid")
+    >>> page.engine, page.cached
+    ('all_fields', False)
+    >>> service.query("all_fields", query=" COVID ").cached  # normalized
+    True
+    >>> service.close()
+    """
+
+    def __init__(self, system: "CovidKG",
+                 config: ServeConfig | None = None) -> None:
+        self.system = system
+        self.config = config or ServeConfig()
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self.metrics = ServiceMetrics(self.config.histogram_capacity)
+        self._pool = WorkerPool(
+            num_workers=self.config.num_workers,
+            max_queue=self.config.max_queue,
+        )
+        self._data_lock = ReadWriteLock()
+        self._closed = False
+        self._dispatch: dict[str, Callable[..., Any]] = {
+            "all_fields": self._run_all_fields,
+            "title_abstract": self._run_title_abstract,
+            "table": self._run_table,
+            "kg": self._run_kg,
+            "meta_profile": self._run_meta_profile,
+        }
+
+    # -- public API -------------------------------------------------------
+
+    def submit(self, engine: str, *,
+               timeout_seconds: float | None = None,
+               **params: Any) -> "Future[ServedResult]":
+        """Admit one request; returns a future of :class:`ServedResult`.
+
+        Cache hits resolve immediately (no queueing).  ``timeout_seconds``
+        (or the config default) becomes an absolute deadline: a request
+        still queued when it passes fails with ``DeadlineExceededError``.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if engine not in self._dispatch:
+            raise QueryError(
+                f"unknown engine {engine!r}; one of {', '.join(ENGINES)}"
+            )
+        started = time.monotonic()
+        self.metrics.record_request(engine)
+        key = request_key(engine, params)
+        versions = self._versions(engine)
+        hit, value = self.cache.get(key, versions)
+        if hit:
+            self.metrics.record_latency(engine,
+                                        time.monotonic() - started)
+            future: Future = Future()
+            future.set_result(ServedResult(
+                engine=engine, value=value, cached=True,
+                seconds=time.monotonic() - started, versions=versions,
+            ))
+            return future
+        timeout = (timeout_seconds if timeout_seconds is not None
+                   else self.config.default_timeout_seconds)
+        deadline = None if timeout is None else started + timeout
+        try:
+            future = self._pool.submit(
+                lambda: self._execute(engine, params, key, started,
+                                      deadline),
+                deadline=deadline,
+            )
+        except ServiceOverloadedError:
+            self.metrics.record_shed()
+            raise
+        future.add_done_callback(self._count_deadline_drop)
+        return future
+
+    def _count_deadline_drop(self, future: "Future[ServedResult]") -> None:
+        if future.cancelled():
+            return
+        if isinstance(future.exception(), DeadlineExceededError):
+            self.metrics.record_deadline_exceeded()
+
+    def query(self, engine: str, *,
+              timeout_seconds: float | None = None,
+              **params: Any) -> ServedResult:
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        Deadlines are enforced by the worker pool (a queued request whose
+        deadline lapses fails with ``DeadlineExceededError``), so this
+        blocks until the pool resolves the future one way or the other.
+        """
+        return self.submit(engine, timeout_seconds=timeout_seconds,
+                           **params).result()
+
+    def ingest(self, papers: list[dict[str, Any]],
+               skip_duplicates: bool = False) -> "EnrichmentReport":
+        """Ingest under the writer lock; cached results self-invalidate.
+
+        The underlying store/index/KG writes bump their version
+        counters, so no cache flush is needed — subsequent lookups see a
+        different snapshot and recompute.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        with self._data_lock.write_locked():
+            return self.system.ingest(papers,
+                                      skip_duplicates=skip_duplicates)
+
+    def stats(self) -> dict[str, Any]:
+        """Request, cache, and latency statistics for dashboards/CLI."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = {
+            **self.cache.stats.as_dict(),
+            "entries": len(self.cache),
+            "max_entries": self.cache.max_entries,
+            "ttl_seconds": self.cache.ttl_seconds,
+        }
+        snapshot["admission"] = {
+            "workers": self._pool.num_workers,
+            "max_queue": self._pool.max_queue,
+            "pending": self._pool.pending,
+        }
+        snapshot["versions"] = {
+            "store": self.system.store.version,
+            "kg": self.system.graph.version,
+        }
+        return snapshot
+
+    def close(self, wait: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- execution --------------------------------------------------------
+
+    def _versions(self, engine: str) -> tuple[int, ...]:
+        """The data-version snapshot a result for ``engine`` depends on."""
+        system = self.system
+        if engine == "all_fields":
+            return (system.all_fields.collection.version,)
+        if engine == "title_abstract":
+            return (system.title_abstract.collection.version,)
+        if engine == "table":
+            return (system.tables.collection.version,)
+        if engine == "kg":
+            return (system.graph.version,)
+        # meta_profile reads the ingested corpus.
+        return (system.store.version,)
+
+    def _execute(self, engine: str, params: dict[str, Any],
+                 key: Any, started: float,
+                 deadline: float | None) -> ServedResult:
+        runner = self._dispatch[engine]
+        try:
+            with self._data_lock.read_locked():
+                versions = self._versions(engine)
+                value = retry_call(
+                    lambda: runner(**params),
+                    retries=self.config.retries,
+                    backoff_seconds=self.config.retry_backoff_seconds,
+                    retry_on=(ShardingError,),
+                    deadline=deadline,
+                    on_retry=self.metrics.record_retry,
+                )
+        except Exception:
+            self.metrics.record_error(engine)
+            raise
+        self.cache.put(key, versions, value)
+        seconds = time.monotonic() - started
+        self.metrics.record_latency(engine, seconds)
+        return ServedResult(engine=engine, value=value, cached=False,
+                            seconds=seconds, versions=versions)
+
+    # -- engine adapters --------------------------------------------------
+
+    def _run_all_fields(self, query: str, page: int = 1) -> Any:
+        return self.system.all_fields.search(query, page=page)
+
+    def _run_title_abstract(self, title: str | None = None,
+                            abstract: str | None = None,
+                            caption: str | None = None,
+                            page: int = 1) -> Any:
+        return self.system.title_abstract.search(
+            title=title, abstract=abstract, caption=caption, page=page,
+        )
+
+    def _run_table(self, query: str, page: int = 1) -> Any:
+        return self.system.tables.search(query, page=page)
+
+    def _run_kg(self, query: str, top_k: int = 10) -> Any:
+        return self.system.search_graph(query, top_k=top_k)
+
+    def _run_meta_profile(self) -> Any:
+        return self.system.meta_profile()

@@ -172,3 +172,66 @@ class TestShardedGroupMerge:
         sharded = db.aggregate("papers", stages)
         reference = self.reference(docs, stages)
         assert sharded.documents == reference.documents
+
+
+class TestRegistryIsolation:
+    """Each Database owns a registry seeded from the defaults, so
+    ``$function`` registrations cannot leak across systems."""
+
+    def test_databases_do_not_share_registrations(self):
+        db_a = Database("a")
+        db_b = Database("b")
+        db_a.registry.register("only_in_a", lambda doc: 1)
+        assert "only_in_a" in db_a.registry
+        assert "only_in_a" not in db_b.registry
+
+    def test_default_registry_seeds_new_databases(self):
+        from repro.docstore.functions import default_registry
+
+        default_registry.register("seeded_fn", lambda doc: 42)
+        try:
+            db = Database("seeded")
+            assert "seeded_fn" in db.registry
+            # ... but it is a copy: later global additions don't appear.
+            default_registry.register("late_fn", lambda doc: 0)
+            try:
+                assert "late_fn" not in db.registry
+            finally:
+                default_registry.unregister("late_fn")
+        finally:
+            default_registry.unregister("seeded_fn")
+
+    def test_explicit_registry_still_honoured(self):
+        shared = FunctionRegistry()
+        db_a = Database("a", registry=shared)
+        db_b = Database("b", registry=shared)
+        shared.register("shared_fn", lambda doc: 1)
+        assert "shared_fn" in db_a.registry
+        assert "shared_fn" in db_b.registry
+
+    def test_client_databases_share_one_registry(self):
+        client = Client()
+        db_a = client.database("a")
+        db_b = client.database("b")
+        db_a.registry.register("client_fn", lambda doc: 1)
+        assert "client_fn" in db_b.registry
+        assert "client_fn" not in Client().database("c").registry
+
+    def test_covidkg_systems_are_isolated(self):
+        from repro.api.system import CovidKG
+
+        system_a = CovidKG()
+        system_b = CovidKG()
+        system_a.functions.register("system_a_rank", lambda doc: 0.0)
+        assert "system_a_rank" not in system_b.functions
+        # The three engines of one system share that system's registry.
+        assert system_a.all_fields.registry is system_a.functions
+        assert system_a.tables.registry is system_a.functions
+
+    def test_registry_copy_is_independent(self):
+        original = FunctionRegistry()
+        original.register("f", lambda doc: 1)
+        clone = original.copy()
+        clone.register("g", lambda doc: 2)
+        assert "f" in clone
+        assert "g" not in original

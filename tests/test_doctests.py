@@ -6,6 +6,7 @@ import pytest
 
 import repro.docstore.documents
 import repro.docstore.matching
+import repro.serve.service
 import repro.text.normalize
 import repro.text.stemmer
 import repro.text.tokenizer
@@ -13,6 +14,7 @@ import repro.text.tokenizer
 MODULES = [
     repro.docstore.documents,
     repro.docstore.matching,
+    repro.serve.service,
     repro.text.normalize,
     repro.text.stemmer,
     repro.text.tokenizer,

@@ -1,0 +1,88 @@
+"""Unit tests for the serving tier's result cache."""
+
+import pytest
+
+from repro.serve.cache import (
+    ResultCache,
+    canonical_params,
+    canonical_text,
+    request_key,
+)
+
+
+class TestCanonicalization:
+    def test_whitespace_and_case_fold(self):
+        assert canonical_text("  Vaccine   SIDE\teffects ") == \
+            "vaccine side effects"
+
+    def test_params_sorted_and_none_dropped(self):
+        a = canonical_params({"title": "Covid ", "abstract": None})
+        b = canonical_params({"abstract": None, "title": "covid"})
+        c = canonical_params({"title": "covid"})
+        assert a == b == c
+
+    def test_request_key_distinguishes_engines_and_pages(self):
+        base = request_key("all_fields", {"query": "covid", "page": 1})
+        assert request_key("table", {"query": "covid", "page": 1}) != base
+        assert request_key("all_fields",
+                           {"query": "covid", "page": 2}) != base
+
+    def test_non_string_params_pass_through(self):
+        key = request_key("kg", {"query": "covid", "top_k": 5})
+        assert ("top_k", 5) in key[1]
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        key = request_key("all_fields", {"query": "covid", "page": 1})
+        hit, _ = cache.get(key, (1,))
+        assert not hit
+        cache.put(key, (1,), "page-one")
+        hit, value = cache.get(key, (1,))
+        assert hit and value == "page-one"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_version_mismatch_invalidates(self):
+        cache = ResultCache()
+        key = request_key("all_fields", {"query": "covid", "page": 1})
+        cache.put(key, (1,), "stale")
+        hit, value = cache.get(key, (2,))
+        assert not hit and value is None
+        assert cache.stats.invalidations == 1
+        # The stale entry is evicted, not resurrected at the old version.
+        hit, _ = cache.get(key, (1,))
+        assert not hit
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(("e", ("a",)), (0,), 1)
+        cache.put(("e", ("b",)), (0,), 2)
+        cache.get(("e", ("a",)), (0,))  # touch "a": "b" becomes LRU
+        cache.put(("e", ("c",)), (0,), 3)
+        assert ("e", ("a",)) in cache
+        assert ("e", ("b",)) not in cache
+        assert ("e", ("c",)) in cache
+        assert cache.stats.evictions == 1
+
+    def test_ttl_expiry(self):
+        clock = [0.0]
+        cache = ResultCache(ttl_seconds=10.0, clock=lambda: clock[0])
+        cache.put(("e", ("q",)), (0,), "fresh")
+        clock[0] = 9.9
+        assert cache.get(("e", ("q",)), (0,))[0]
+        clock[0] = 10.1
+        hit, _ = cache.get(("e", ("q",)), (0,))
+        assert not hit
+        assert cache.stats.expirations == 1
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put(("e", ("q",)), (0,), 1)
+        cache.clear()
+        assert len(cache) == 0
