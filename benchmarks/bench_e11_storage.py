@@ -14,6 +14,8 @@ raw parsed JSON is smaller — we report the parsed-JSON bytes/doc and the
 multiplier needed to reach the paper's figure.
 """
 
+import time
+
 from benchlib import print_table
 
 from repro.docstore.persistence import storage_report
@@ -22,6 +24,7 @@ from repro.search.indexing import build_search_document
 
 PAPER_DOCS = 450_000
 PAPER_BYTES = 965 * 1024 ** 3
+SCAN_REPEATS = 15
 
 
 def _store(corpus, num_shards=8):
@@ -30,6 +33,26 @@ def _store(corpus, num_shards=8):
     for paper in corpus:
         store.insert_one(build_search_document(paper))
     return store
+
+
+def _per_shard_scan_p95(store, repeats=SCAN_REPEATS):
+    """p95 full-scan latency per shard, in milliseconds.
+
+    Shards execute concurrently under scatter-gather, so the slowest
+    shard's scan latency — not the sum — bounds a fan-out read; the
+    per-shard spread is the latency face of storage skew.
+    """
+    rows = []
+    for index, shard in enumerate(store.shards):
+        samples = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            shard.find({}).to_list()
+            samples.append(time.perf_counter() - started)
+        samples.sort()
+        rank = min(len(samples) - 1, round(0.95 * (len(samples) - 1)))
+        rows.append([index, len(shard), samples[rank] * 1000.0])
+    return rows
 
 
 def test_e11_storage_accounting(medium_corpus, benchmark):
@@ -55,10 +78,22 @@ def test_e11_storage_accounting(medium_corpus, benchmark):
         "models+embeddings+indexes+replication",
     )
 
+    scan_rows = _per_shard_scan_p95(store)
+    slowest = max(row[2] for row in scan_rows)
+    print_table(
+        "E11: per-shard p95 full-scan latency (concurrent fan-out reads)",
+        ["shard", "documents", "p95 scan ms"],
+        scan_rows,
+        note=f"slowest shard bounds a scatter-gather read: "
+             f"{slowest:.3f} ms at p95",
+    )
+
     # Shape: parsed JSON explains gigabytes (not kilobytes, not petabytes)
     # at 450k docs, and hash sharding balances within 2x of mean.
     assert 10 ** 8 < extrapolated < 10 ** 12
     assert report.shard_skew < 2.0
+    assert len(scan_rows) == 8
+    assert all(p95 > 0 for _, _, p95 in scan_rows)
 
     def insert_batch():
         store = ShardedCollection("tmp", shard_key="paper_id",

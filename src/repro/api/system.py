@@ -58,6 +58,11 @@ class CovidKGConfig:
 
     num_shards: int = 4
     shard_key: str = "paper_id"
+    #: Shards per search-engine index.  ``1`` keeps each engine on a
+    #: single collection; ``> 1`` makes every query a parallel
+    #: scatter-gather over that many shards (results are identical —
+    #: ranking tie-breaks are deterministic either way).
+    search_shards: int = 1
     vocabulary_size: int = 100_000
     embedding_dim: int = 24
     wdc_training_tables: int = 60
@@ -83,11 +88,18 @@ class CovidKG:
         # $function registry (seeded from the global defaults) so ranking
         # functions registered here never leak into another system.
         self.functions = FunctionRegistry.with_defaults()
-        self.all_fields = AllFieldsEngine(registry=self.functions)
-        self.title_abstract = TitleAbstractCaptionEngine(
-            registry=self.functions
+        self.all_fields = AllFieldsEngine(
+            registry=self.functions,
+            num_shards=self.config.search_shards,
         )
-        self.tables = TableSearchEngine(registry=self.functions)
+        self.title_abstract = TitleAbstractCaptionEngine(
+            registry=self.functions,
+            num_shards=self.config.search_shards,
+        )
+        self.tables = TableSearchEngine(
+            registry=self.functions,
+            num_shards=self.config.search_shards,
+        )
         # Section 4: matching/fusion/review/enrichment.
         self.review_queue = ExpertReviewQueue()
         self.matcher = NodeMatcher(self.graph)

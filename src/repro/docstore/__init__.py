@@ -14,10 +14,22 @@ reproduces the parts of that stack the system actually exercises:
 * JSONL persistence and storage accounting (:mod:`repro.docstore.persistence`).
 """
 
-from repro.docstore.aggregation import AggregationPipeline
+from repro.docstore.aggregation import (
+    AggregationPipeline,
+    top_k_documents,
+    top_k_tagged,
+)
 from repro.docstore.collection import Collection
 from repro.docstore.database import Client, Database
 from repro.docstore.documents import ObjectId, deep_get, deep_set
+from repro.docstore.executor import (
+    add_fanout_observer,
+    executor_width,
+    remove_fanout_observer,
+    scatter,
+    scatter_first,
+    shutdown_executor,
+)
 from repro.docstore.matching import matches
 from repro.docstore.sharding import HashSharder, RangeSharder, ShardedCollection
 
@@ -33,4 +45,12 @@ __all__ = [
     "HashSharder",
     "RangeSharder",
     "ShardedCollection",
+    "add_fanout_observer",
+    "executor_width",
+    "remove_fanout_observer",
+    "scatter",
+    "scatter_first",
+    "shutdown_executor",
+    "top_k_documents",
+    "top_k_tagged",
 ]

@@ -29,9 +29,10 @@ cost of mis-ordered stages.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.docstore.collection import Collection, apply_projection, _sort_key
 from repro.docstore.documents import deep_copy_document, deep_get, deep_set
@@ -40,6 +41,66 @@ from repro.docstore.matching import matches
 from repro.errors import AggregationError
 
 _MISSING = object()
+
+
+class _Descending:
+    """Inverts comparisons so a descending field fits an ascending key."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and other.key == self.key
+
+
+def sort_key_function(spec: dict[str, int]
+                      ) -> Callable[[tuple[Any, dict[str, Any]]], tuple]:
+    """A composite key over ``(tag, document)`` pairs matching ``$sort``.
+
+    A stable multi-pass ``$sort`` (last field first) orders exactly like
+    a single sort on the lexicographic composite key with the original
+    position as the final tie-break — which is what this key encodes, so
+    a bounded heap (``heapq.nsmallest``) reproduces the full sort's
+    leading ``k`` documents byte-for-byte.  ``tag`` is any comparable
+    position marker (an int, or ``(shard, offset)`` for merged partials).
+    """
+    fields = list(spec.items())
+
+    def key(pair: tuple[Any, dict[str, Any]]) -> tuple:
+        tag, document = pair
+        parts: list[Any] = []
+        for path, direction in fields:
+            part = _sort_key(deep_get(document, path))
+            parts.append(_Descending(part) if direction < 0 else part)
+        parts.append(tag)
+        return tuple(parts)
+
+    return key
+
+
+def top_k_tagged(tagged: Iterable[tuple[Any, dict[str, Any]]],
+                 spec: dict[str, int],
+                 k: int) -> list[tuple[Any, dict[str, Any]]]:
+    """The leading ``k`` of a stable ``$sort`` over position-tagged docs.
+
+    O(n log k) instead of the full sort's O(n log n); the serving tier's
+    top-k retrieval path and the sharded scatter-gather merge both build
+    on this primitive (per-shard bounded heaps, then one bounded merge).
+    """
+    if k <= 0:
+        return []
+    return heapq.nsmallest(k, tagged, key=sort_key_function(spec))
+
+
+def top_k_documents(documents: Iterable[dict[str, Any]],
+                    spec: dict[str, int], k: int) -> list[dict[str, Any]]:
+    """The first ``k`` documents ``{"$sort": spec}`` would emit."""
+    return [doc for _, doc in top_k_tagged(enumerate(documents), spec, k)]
 
 
 @dataclass

@@ -1,0 +1,199 @@
+"""Shared fan-out executor for multi-shard scatter-gather.
+
+The paper's back end is a sharded MongoDB cluster whose router sends
+per-shard work to every shard *concurrently* and merges the partial
+results.  This module is the process-wide equivalent: one bounded
+``ThreadPoolExecutor`` every multi-shard operation (``find``, ``count``,
+``aggregate``, bulk writes, rebalancing) dispatches through.
+
+Design rules:
+
+* **Lazy init** — the pool is created on first parallel fan-out, never
+  at import time, so single-shard workloads pay nothing.
+* **Configurable width** — ``REPRO_EXECUTOR_WIDTH`` overrides the
+  default (bounded by CPU count); width ``1`` forces the serial path,
+  which the differential tests use as the reference implementation.
+* **Serial fallback** — one task, width 1, or a *nested* fan-out (a
+  task that itself scatters, e.g. an aggregation inside a serving-tier
+  worker that is already running on the pool) runs inline on the
+  calling thread.  Nested submissions to a bounded pool can deadlock;
+  running them inline cannot.
+* **Observable** — every fanned-out task's wall time is reported to
+  registered observers, which is how the serving tier's per-shard
+  fan-out latency histogram is fed without the docstore importing the
+  metrics layer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Any, Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Environment variable overriding the fan-out width.
+WIDTH_ENV = "REPRO_EXECUTOR_WIDTH"
+
+#: Default width: enough threads to cover a typical shard count without
+#: oversubscribing small machines.
+DEFAULT_WIDTH = max(2, min(16, os.cpu_count() or 4))
+
+_lock = threading.Lock()
+_executor: ThreadPoolExecutor | None = None
+_executor_width = 0
+_local = threading.local()
+
+_observers: list[Callable[[float], None]] = []
+
+
+def executor_width() -> int:
+    """The configured fan-out width (``REPRO_EXECUTOR_WIDTH`` or default).
+
+    Invalid or non-positive values fall back to the default, so a broken
+    environment never disables the store.
+    """
+    raw = os.environ.get(WIDTH_ENV)
+    if raw:
+        try:
+            width = int(raw)
+        except ValueError:
+            return DEFAULT_WIDTH
+        if width >= 1:
+            return width
+    return DEFAULT_WIDTH
+
+
+def get_executor() -> ThreadPoolExecutor:
+    """The shared pool, (re)built lazily at the current width."""
+    global _executor, _executor_width
+    width = executor_width()
+    with _lock:
+        if _executor is None or _executor_width != width:
+            if _executor is not None:
+                _executor.shutdown(wait=False)
+            _executor = ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="repro-shard"
+            )
+            _executor_width = width
+        return _executor
+
+
+def shutdown_executor() -> None:
+    """Tear down the shared pool (tests; safe to call when never built)."""
+    global _executor, _executor_width
+    with _lock:
+        if _executor is not None:
+            _executor.shutdown(wait=True)
+            _executor = None
+            _executor_width = 0
+
+
+# -- observability ---------------------------------------------------------
+
+def add_fanout_observer(observer: Callable[[float], None]) -> None:
+    """Register a callback receiving each fanned-out task's seconds."""
+    with _lock:
+        if observer not in _observers:
+            _observers.append(observer)
+
+
+def remove_fanout_observer(observer: Callable[[float], None]) -> None:
+    with _lock:
+        if observer in _observers:
+            _observers.remove(observer)
+
+
+def _observed(task: Callable[[], T]) -> T:
+    started = time.perf_counter()
+    try:
+        return task()
+    finally:
+        seconds = time.perf_counter() - started
+        for observer in list(_observers):
+            try:
+                observer(seconds)
+            except Exception:  # noqa: BLE001 - observers must not break reads
+                pass
+
+
+# -- fan-out primitives ----------------------------------------------------
+
+def _run_serial(tasks: Sequence[Callable[[], T]]) -> list[T]:
+    if len(tasks) > 1:
+        return [_observed(task) for task in tasks]
+    return [task() for task in tasks]
+
+
+def _in_fanout() -> bool:
+    return bool(getattr(_local, "depth", 0))
+
+
+def _worker(task: Callable[[], T]) -> T:
+    _local.depth = getattr(_local, "depth", 0) + 1
+    try:
+        return _observed(task)
+    finally:
+        _local.depth -= 1
+
+
+def scatter(tasks: Sequence[Callable[[], T]]) -> list[T]:
+    """Run every task, returning results in task order.
+
+    Tasks run on the shared pool when a parallel fan-out is worthwhile;
+    otherwise (single task, width 1, or already inside a fan-out) they
+    run inline.  The first task exception propagates after all tasks
+    have been dispatched.
+    """
+    if len(tasks) <= 1 or executor_width() == 1 or _in_fanout():
+        return _run_serial(tasks)
+    executor = get_executor()
+    futures = [executor.submit(_worker, task) for task in tasks]
+    return [future.result() for future in futures]
+
+
+def scatter_first(tasks: Sequence[Callable[[], T]],
+                  accept: Callable[[T], bool]) -> T | None:
+    """Run tasks, returning the first *accepted* result to complete.
+
+    The parallel path consumes completions as they land — the first
+    task whose result satisfies ``accept`` wins and every not-yet-
+    started task is cancelled.  The serial path short-circuits in task
+    order.  Returns ``None`` when no result is accepted.
+    """
+    if len(tasks) <= 1 or executor_width() == 1 or _in_fanout():
+        for task in tasks:
+            result = _observed(task) if len(tasks) > 1 else task()
+            if accept(result):
+                return result
+        return None
+    executor = get_executor()
+    pending = {executor.submit(_worker, task) for task in tasks}
+    winner: Any = None
+    error: BaseException | None = None
+    try:
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                exc = future.exception()
+                if exc is not None:
+                    error = error or exc
+                    continue
+                result = future.result()
+                if accept(result):
+                    winner = result
+                    raise _Found
+    except _Found:
+        pass
+    finally:
+        for future in pending:
+            future.cancel()
+    if winner is None and error is not None:
+        raise error
+    return winner
+
+
+class _Found(Exception):
+    """Internal control flow: a short-circuit result was accepted."""

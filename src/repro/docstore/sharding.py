@@ -4,7 +4,14 @@ The paper's back end is a *sharded* MongoDB cluster (Section 2, "Storage").
 :class:`ShardedCollection` reproduces the behaviour the system depends on:
 
 * deterministic shard-key routing for writes,
-* targeted reads when a query pins the shard key, scatter-gather otherwise,
+* targeted reads when a query pins the shard key, scatter-gather otherwise
+  — with the per-shard work fanned out **concurrently** on the shared
+  :mod:`repro.docstore.executor` pool and merged in shard order, exactly
+  as a mongos router scatter-gathers,
+* aggregation pipelines whose per-document prefix (``$match`` /
+  ``$project`` / ``$addFields`` / ``$function``) runs per shard in
+  parallel, with ranked (``$sort`` + ``$limit``) results merged through
+  a bounded heap instead of a full re-sort,
 * per-shard storage accounting (the E11 experiment reports shard skew),
 * rebalancing when shards are added.
 """
@@ -13,14 +20,29 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from typing import Any, Iterable, Iterator
 
+from repro.docstore.aggregation import (
+    AggregationPipeline,
+    AggregationResult,
+    StageStats,
+    top_k_tagged,
+)
 from repro.docstore.collection import Collection, Cursor
 from repro.docstore.documents import deep_get
+from repro.docstore.executor import scatter, scatter_first
+from repro.docstore.functions import FunctionRegistry
 from repro.docstore.matching import equality_constraints
 from repro.errors import ShardingError
 
 _MISSING = object()
+
+#: Stages operating on one document at a time — safe to push down to the
+#: shards and run concurrently (the scatter half of scatter-gather).
+_PER_DOCUMENT_STAGES = frozenset(
+    {"$match", "$project", "$addFields", "$function"}
+)
 
 
 class HashSharder:
@@ -154,29 +176,75 @@ class ShardedCollection:
         return self._route(document).insert_one(document)
 
     def insert_many(self, documents: Iterable[dict[str, Any]]) -> list[Any]:
-        return [self.insert_one(document) for document in documents]
+        """Route a batch by grouping per target shard, then bulk-insert.
+
+        One ``Collection.insert_many`` per touched shard (fanned out
+        concurrently) instead of one routed ``insert_one`` per document.
+        A document missing the shard key keeps its per-document error
+        semantics: every document *before* it in the batch is inserted,
+        then :class:`ShardingError` is raised.  Returned ids are in the
+        original batch order.
+        """
+        documents = list(documents)
+        groups: dict[int, list[tuple[int, dict[str, Any]]]] = {}
+        routing_error: ShardingError | None = None
+        for position, document in enumerate(documents):
+            key_value = deep_get(document, self.shard_key, _MISSING)
+            if key_value is _MISSING:
+                routing_error = ShardingError(
+                    f"document missing shard key {self.shard_key!r}"
+                )
+                break
+            shard_index = self.sharder.shard_for(key_value)
+            groups.setdefault(shard_index, []).append((position, document))
+
+        ids: dict[int, Any] = {}
+
+        def insert_group(shard_index: int) -> None:
+            positions = [pos for pos, _ in groups[shard_index]]
+            batch = [doc for _, doc in groups[shard_index]]
+            for position, doc_id in zip(
+                positions, self.shards[shard_index].insert_many(batch)
+            ):
+                ids[position] = doc_id
+
+        scatter([
+            lambda index=shard_index: insert_group(index)
+            for shard_index in sorted(groups)
+        ])
+        if routing_error is not None:
+            raise routing_error
+        return [ids[position] for position in sorted(ids)]
 
     def delete_many(self, query: dict[str, Any]) -> int:
-        return sum(
-            shard.delete_many(query) for shard in self._target_shards(query)
-        )
+        return sum(scatter([
+            lambda s=shard: s.delete_many(query)
+            for shard in self._target_shards(query)
+        ]))
 
     def update_many(self, query: dict[str, Any],
                     update: dict[str, Any]) -> int:
-        return sum(
-            shard.update_many(query, update)
+        return sum(scatter([
+            lambda s=shard: s.update_many(query, update)
             for shard in self._target_shards(query)
-        )
+        ]))
 
     # -- reads -----------------------------------------------------------
 
     def find(self, query: dict[str, Any] | None = None,
              projection: dict[str, int] | None = None) -> Cursor:
-        """Scatter-gather (or targeted) find across shards."""
+        """Scatter-gather (or targeted) find across shards.
+
+        Per-shard scans run concurrently on the shared executor; the
+        partials are concatenated in shard order, so results are
+        identical to a serial shard-by-shard visit.
+        """
         query = query or {}
-        documents: list[dict[str, Any]] = []
-        for shard in self._target_shards(query):
-            documents.extend(shard.find(query).to_list())
+        partials = scatter([
+            lambda s=shard: s.find(query).to_list()
+            for shard in self._target_shards(query)
+        ])
+        documents = [doc for partial in partials for doc in partial]
         cursor = Cursor(documents)
         if projection is not None:
             cursor.project(projection)
@@ -184,22 +252,150 @@ class ShardedCollection:
 
     def find_one(self, query: dict[str, Any] | None = None
                  ) -> dict[str, Any] | None:
-        for shard in self._target_shards(query or {}):
-            result = shard.find_one(query)
-            if result is not None:
-                return result
-        return None
+        """First matching document; non-targeted lookups short-circuit.
+
+        A scatter-gather ``find_one`` races every shard and takes the
+        first shard to report a hit (completed-first iteration); the
+        remaining queued scans are cancelled rather than run to
+        completion.
+        """
+        shards = self._target_shards(query or {})
+        if len(shards) == 1:
+            return shards[0].find_one(query)
+        return scatter_first(
+            [lambda s=shard: s.find_one(query) for shard in shards],
+            accept=lambda result: result is not None,
+        )
 
     def count(self, query: dict[str, Any] | None = None) -> int:
         if not query:
             return sum(len(shard) for shard in self.shards)
-        return sum(
-            shard.count(query) for shard in self._target_shards(query)
-        )
+        return sum(scatter([
+            lambda s=shard: s.count(query)
+            for shard in self._target_shards(query)
+        ]))
+
+    # -- aggregation -----------------------------------------------------
+
+    def aggregate(self, stages: list[dict[str, Any]],
+                  registry: FunctionRegistry | None = None
+                  ) -> AggregationResult:
+        """Run an aggregation pipeline with parallel shard fan-out.
+
+        The leading run of per-document stages (``$match`` /
+        ``$project`` / ``$addFields`` / ``$function``) executes on every
+        shard concurrently — including the indexed ``$match`` pushdown
+        each shard applies locally.  When the remainder is a ranked page
+        (``$sort`` then ``$limit``, optionally with a ``$skip``), the
+        per-shard partials are reduced to bounded heaps of the top
+        ``skip+limit`` candidates and merged with one more bounded heap,
+        so no full sort of the match set ever happens; results are
+        byte-identical to the serial pipeline (stable-sort tie order
+        included).  Any other remainder runs serially on the gathered
+        partials.
+        """
+        pipeline = AggregationPipeline(stages, registry)
+        if len(self.shards) == 1:
+            return pipeline.run(self.shards[0])
+
+        split = 0
+        while split < len(stages) \
+                and next(iter(stages[split])) in _PER_DOCUMENT_STAGES:
+            split += 1
+        prefix, suffix = stages[:split], stages[split:]
+        if not prefix:
+            return pipeline.run(self._gather_all())
+
+        sort_spec, top_k, consumed = self._ranked_page_plan(suffix)
+        prefix_pipeline = AggregationPipeline(prefix, pipeline.registry)
+
+        def run_shard(shard_index: int) -> tuple[
+            list[StageStats], list[tuple[tuple[int, int], dict[str, Any]]]
+        ]:
+            partial = prefix_pipeline.run(self.shards[shard_index])
+            tagged = [
+                ((shard_index, position), document)
+                for position, document in enumerate(partial.documents)
+            ]
+            if sort_spec is not None:
+                # Per-shard bounded heap: only the shard's own top
+                # skip+limit candidates survive to the merge.
+                tagged = top_k_tagged(tagged, sort_spec, top_k)
+            return partial.stages, tagged
+
+        shard_results = scatter([
+            lambda index=shard_index: run_shard(index)
+            for shard_index in range(len(self.shards))
+        ])
+        stats = _merge_stage_stats([result[0] for result in shard_results])
+
+        if sort_spec is not None:
+            started = time.perf_counter()
+            candidates = [
+                pair for _, tagged in shard_results for pair in tagged
+            ]
+            total_in = sum(
+                partial_stats[-1].docs_out if partial_stats else 0
+                for partial_stats, _ in shard_results
+            )
+            merged = [
+                document for _, document
+                in top_k_tagged(candidates, sort_spec, top_k)
+            ]
+            stats.append(StageStats(
+                "$sort(top-k merge)", total_in, len(merged),
+                time.perf_counter() - started,
+            ))
+            remainder = suffix[consumed:]
+            if not remainder:
+                return AggregationResult(merged, stats)
+            rest = AggregationPipeline(
+                remainder, pipeline.registry
+            ).run(merged)
+            return AggregationResult(rest.documents, stats + rest.stages)
+
+        gathered = [
+            document for _, tagged in shard_results
+            for _, document in tagged
+        ]
+        if not suffix:
+            return AggregationResult(gathered, stats)
+        rest = AggregationPipeline(suffix, pipeline.registry).run(gathered)
+        return AggregationResult(rest.documents, stats + rest.stages)
+
+    @staticmethod
+    def _ranked_page_plan(suffix: list[dict[str, Any]]
+                          ) -> tuple[dict[str, int] | None, int, int]:
+        """Detect a ``$sort [$skip] $limit`` head: the top-k merge plan.
+
+        Returns ``(sort_spec, k, stages_consumed)`` where ``k`` is the
+        number of leading sorted documents the downstream stages can
+        observe (``skip + limit``); ``(None, 0, 0)`` when the suffix is
+        not a ranked page.
+        """
+        if not suffix or "$sort" not in suffix[0]:
+            return None, 0, 0
+        sort_spec = suffix[0]["$sort"]
+        skip = 0
+        cursor = 1
+        if cursor < len(suffix) and "$skip" in suffix[cursor]:
+            skip = max(0, int(suffix[cursor]["$skip"]))
+            cursor += 1
+        if cursor < len(suffix) and "$limit" in suffix[cursor]:
+            limit = max(0, int(suffix[cursor]["$limit"]))
+            return sort_spec, skip + limit, 1
+        return None, 0, 0
 
     def all_documents(self) -> Iterator[dict[str, Any]]:
         for shard in self.shards:
             yield from shard.all_documents()
+
+    def _gather_all(self) -> list[dict[str, Any]]:
+        """Materialize every document, scanning shards concurrently."""
+        partials = scatter([
+            lambda s=shard: list(s.all_documents()) for shard in self.shards
+        ])
+        return [document for partial in partials for document in partial]
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
@@ -218,9 +414,15 @@ class ShardedCollection:
         return sum(self.shard_storage_bytes())
 
     def rebalance(self, num_shards: int) -> None:
-        """Re-shard all documents onto ``num_shards`` shards."""
+        """Re-shard all documents onto ``num_shards`` shards.
+
+        Both halves fan out on the executor: the old shards drain
+        concurrently, and each new shard bulk-loads its re-routed group
+        concurrently (each group touches exactly one target shard, so
+        the parallel loads never contend).
+        """
         new_sharder = self.sharder.with_shards(num_shards)
-        documents = list(self.all_documents())
+        documents = self._gather_all()
         # Fresh shards restart their counters at zero; carry the old total
         # forward (plus one for the rebalance itself) so the collection
         # version never moves backwards.
@@ -236,11 +438,45 @@ class ShardedCollection:
         if self._text_index_paths:
             for shard in self.shards:
                 shard.create_text_index(self._text_index_paths)
+        groups: dict[int, list[dict[str, Any]]] = {}
         for document in documents:
-            self._route(document).insert_one(document)
+            key_value = deep_get(document, self.shard_key, _MISSING)
+            if key_value is _MISSING:
+                raise ShardingError(
+                    f"document missing shard key {self.shard_key!r}"
+                )
+            groups.setdefault(
+                self.sharder.shard_for(key_value), []
+            ).append(document)
+        scatter([
+            lambda index=shard_index:
+                self.shards[index].insert_many(groups[index])
+            for shard_index in sorted(groups)
+        ])
         self.advance_version(version_floor)
 
     @property
     def total_scan_count(self) -> int:
         """Aggregate scan counter across shards (for experiments)."""
         return sum(shard.scan_count for shard in self.shards)
+
+
+def _merge_stage_stats(per_shard: list[list[StageStats]]
+                       ) -> list[StageStats]:
+    """Fold per-shard prefix statistics into one entry per stage.
+
+    Document counts sum across shards; ``seconds`` is the slowest
+    shard's time — the wall-clock cost of the parallel stage.
+    """
+    if not per_shard:
+        return []
+    merged: list[StageStats] = []
+    for position, template in enumerate(per_shard[0]):
+        stats = [shard_stats[position] for shard_stats in per_shard]
+        merged.append(StageStats(
+            template.stage,
+            sum(stat.docs_in for stat in stats),
+            sum(stat.docs_out for stat in stats),
+            max(stat.seconds for stat in stats),
+        ))
+    return merged

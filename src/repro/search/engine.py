@@ -7,7 +7,20 @@ Pipeline shape (paper Section 2.1, verbatim design):
 2. ``$project`` keeping "only ... fields that were necessary for carrying
    out calculations and printing to the screen";
 3. a custom ``$function`` stage deriving the ranking score per document;
-4. ``$sort`` by score, then pagination "as a list of ten per page".
+4. ranking by score, then pagination "as a list of ten per page".
+
+Step 4 no longer fully sorts the match set: serving page ``p`` only
+requires the top ``p * PAGE_SIZE`` candidates, so the hot path keeps a
+``heapq``-bounded selection (O(n log k)) instead of the full ``$sort``
+(O(n log n)).  Ordering is exact and deterministic — score descending,
+then ``paper_id`` ascending as the tie-break — so the top-k page is
+byte-identical to what the full sort would emit (``full_sort = True``
+restores the reference path; the differential tests compare the two).
+
+An engine built with ``num_shards > 1`` stores its index in a
+:class:`~repro.docstore.sharding.ShardedCollection` and evaluates the
+``$match``/``$project``/``$function`` prefix per shard in parallel
+(scatter-gather on the shared executor), merging per-shard top-k heaps.
 """
 
 from __future__ import annotations
@@ -17,9 +30,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.docstore.aggregation import AggregationResult, aggregate
+from repro.docstore.aggregation import (
+    AggregationResult,
+    StageStats,
+    aggregate,
+    top_k_documents,
+)
 from repro.docstore.collection import Collection
 from repro.docstore.functions import FunctionRegistry
+from repro.docstore.sharding import ShardedCollection
 from repro.errors import QueryError
 from repro.search.indexing import ALL_SEARCH_FIELDS, build_search_document
 from repro.search.query import ParsedQuery
@@ -29,6 +48,9 @@ from repro.text.tfidf import TfIdfModel
 from repro.text.tokenizer import tokenize
 
 PAGE_SIZE = 10
+
+#: Deterministic result order: score descending, ``paper_id`` tie-break.
+SORT_SPEC = {"score": -1, "paper_id": 1}
 
 #: Fields every engine projects (id, display fields, ranking inputs).
 PROJECTED_FIELDS = [
@@ -73,9 +95,20 @@ class SearchResults:
 class SearchEngineBase:
     """Common index + pipeline evaluation; engines define match/rank/format."""
 
+    #: Reference path for differential tests: full ``$sort`` instead of
+    #: the bounded top-k selection.  Results are identical either way.
+    full_sort: bool = False
+
     def __init__(self, registry: FunctionRegistry | None = None,
-                 expander=None) -> None:
-        self.collection = Collection("publications")
+                 expander=None, num_shards: int = 1) -> None:
+        self.collection: Collection | ShardedCollection
+        if num_shards > 1:
+            self.collection = ShardedCollection(
+                "publications", shard_key="paper_id",
+                num_shards=num_shards,
+            )
+        else:
+            self.collection = Collection("publications")
         self.tfidf = TfIdfModel()
         self.registry = registry or FunctionRegistry()
         self.expander = expander
@@ -119,7 +152,14 @@ class SearchEngineBase:
                       match_stage: dict[str, Any],
                       rank_fields: list[str],
                       page: int) -> tuple[AggregationResult, int, float]:
-        """Execute the canonical pipeline; returns (page, total, seconds)."""
+        """Execute the canonical pipeline; returns (page, total, seconds).
+
+        The ``$match``/``$project``/``$function`` prefix always runs
+        (in parallel across shards when the index is sharded); ranking
+        then takes the top-k path — a bounded heap of the
+        ``page * PAGE_SIZE`` best candidates — unless ``full_sort`` asks
+        for the reference full ``$sort``.
+        """
         if page < 1:
             raise QueryError("pages are 1-based")
         # A per-invocation name: concurrent queries against the same
@@ -130,21 +170,65 @@ class SearchEngineBase:
             function_name, self.ranking.scorer(parsed, rank_fields)
         )
         started = time.perf_counter()
-        stages = [
+        prefix = [
             {"$match": match_stage},
             {"$project": {name: 1 for name in PROJECTED_FIELDS}},
             {"$function": {"name": function_name, "as": "score"}},
-            {"$sort": {"score": -1}},
         ]
+        skip = (page - 1) * PAGE_SIZE
+        top_k = page * PAGE_SIZE
         try:
-            ranked = aggregate(self.collection, stages, self.registry)
-            total = len(ranked.documents)
-            paged = aggregate(ranked.documents, [
-                {"$skip": (page - 1) * PAGE_SIZE},
-                {"$limit": PAGE_SIZE},
-            ], self.registry)
+            if isinstance(self.collection, ShardedCollection):
+                paged, total = self._rank_sharded(prefix, skip)
+            else:
+                paged, total = self._rank_local(prefix, skip, top_k)
         finally:
             self.registry.unregister(function_name)
         seconds = time.perf_counter() - started
-        paged.stages = ranked.stages + paged.stages
         return paged, total, seconds
+
+    def _rank_sharded(self, prefix: list[dict[str, Any]],
+                      skip: int) -> tuple[AggregationResult, int]:
+        """Scatter-gather ranking: per-shard prefix + bounded-heap merge."""
+        if self.full_sort:
+            ranked = self.collection.aggregate(
+                prefix + [{"$sort": SORT_SPEC}], self.registry
+            )
+            total = len(ranked.documents)
+            return AggregationResult(
+                ranked.documents[skip:skip + PAGE_SIZE], ranked.stages
+            ), total
+        ranked = self.collection.aggregate(
+            prefix + [{"$sort": SORT_SPEC}, {"$skip": skip},
+                      {"$limit": PAGE_SIZE}],
+            self.registry,
+        )
+        total = next(
+            (stat.docs_in for stat in ranked.stages
+             if stat.stage.startswith("$sort")),
+            len(ranked.documents),
+        )
+        return ranked, total
+
+    def _rank_local(self, prefix: list[dict[str, Any]], skip: int,
+                    top_k: int) -> tuple[AggregationResult, int]:
+        """Single-collection ranking: prefix, then top-k (or full sort)."""
+        matched = aggregate(self.collection, prefix, self.registry)
+        total = len(matched.documents)
+        if self.full_sort:
+            ranked = aggregate(
+                matched.documents, [{"$sort": SORT_SPEC}], self.registry
+            )
+            return AggregationResult(
+                ranked.documents[skip:skip + PAGE_SIZE],
+                matched.stages + ranked.stages,
+            ), total
+        heap_started = time.perf_counter()
+        page_documents = top_k_documents(
+            matched.documents, SORT_SPEC, top_k
+        )[skip:]
+        stages = matched.stages + [StageStats(
+            "$sort(top-k)", total, len(page_documents),
+            time.perf_counter() - heap_started,
+        )]
+        return AggregationResult(page_documents, stages), total

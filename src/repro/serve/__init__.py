@@ -10,6 +10,7 @@ per-request observability.
 from repro.serve.admission import ReadWriteLock, WorkerPool, retry_call
 from repro.serve.cache import (
     CacheStats,
+    Flight,
     ResultCache,
     canonical_params,
     canonical_text,
@@ -26,6 +27,7 @@ from repro.serve.service import (
 __all__ = [
     "ENGINES",
     "CacheStats",
+    "Flight",
     "LatencyHistogram",
     "QueryService",
     "ReadWriteLock",

@@ -1,7 +1,7 @@
 """Normalized-request result cache: LRU + TTL + version invalidation.
 
 The serving tier caches fully-computed query results keyed on
-``(engine, canonical query, page)``.  Three mechanisms keep entries
+``(engine, canonical query, page)``.  Five mechanisms keep entries
 correct and bounded:
 
 * **Canonicalization** — ``"  Vaccine   SIDE effects "`` and
@@ -12,6 +12,16 @@ correct and bounded:
   whose current snapshot differs is a miss and evicts the stale entry.
 * **LRU + TTL** — at most ``max_entries`` live at once (least recently
   used evicted first) and nothing older than ``ttl_seconds`` is served.
+* **Single-flight miss collapsing** — the stampede protection: N
+  concurrent misses on one key produce *one* computation.  The first
+  miss becomes the **leader** and computes; the other N-1 become
+  **followers** that block on the leader's in-flight future instead of
+  recomputing (:meth:`ResultCache.claim` / :meth:`ResultCache.complete`
+  / :meth:`ResultCache.fail`).
+* **Negative caching** — a deterministic request failure (e.g. a
+  malformed query) is remembered for a *short* TTL
+  (``negative_ttl_seconds``) and replayed on repeat lookups, so a
+  hammered bad request cannot recompute its way around the cache.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
@@ -66,6 +77,8 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     expirations: int = 0
+    collapsed: int = 0
+    negative_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -74,6 +87,8 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "expirations": self.expirations,
+            "collapsed": self.collapsed,
+            "negative_hits": self.negative_hits,
         }
 
 
@@ -85,18 +100,47 @@ class _Entry:
     stored_at: float = field(default=0.0)
 
 
+@dataclass
+class _NegativeEntry:
+    exception: BaseException
+    versions: VersionSnapshot
+    expires_at: float
+
+
+class Flight:
+    """One in-flight computation other requests for the key collapse on.
+
+    The leader resolves ``future`` with the raw computed value (or its
+    exception); followers block on it.  The flight object, not the key,
+    identifies the computation — a flight superseded by a version change
+    completes harmlessly without clobbering its successor.
+    """
+
+    __slots__ = ("key", "versions", "future")
+
+    def __init__(self, key: CacheKey, versions: VersionSnapshot) -> None:
+        self.key = key
+        self.versions = versions
+        self.future: Future = Future()
+
+
 class ResultCache:
     """Thread-safe LRU + TTL cache with data-version invalidation."""
 
     def __init__(self, max_entries: int = 512,
                  ttl_seconds: float = 300.0,
+                 negative_ttl_seconds: float = 30.0,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
+        self.negative_ttl_seconds = negative_ttl_seconds
         self._clock = clock
         self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._negatives: OrderedDict[Hashable, _NegativeEntry] = \
+            OrderedDict()
+        self._inflight: dict[Hashable, Flight] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -141,9 +185,94 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    # -- single-flight ----------------------------------------------------
+
+    def claim(self, key: CacheKey, versions: VersionSnapshot
+              ) -> tuple[str, Any]:
+        """Resolve a lookup into one of four outcomes, atomically.
+
+        * ``("hit", value)`` — a fresh positive entry exists;
+        * ``("negative", exception)`` — a fresh negative entry exists:
+          replay the remembered failure without recomputing;
+        * ``("follower", flight)`` — the same key+versions is already
+          being computed: wait on ``flight.future`` instead of working;
+        * ``("leader", flight)`` — this caller must compute, then call
+          :meth:`complete` or :meth:`fail` on the returned flight.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.versions != versions:
+                    del self._entries[key]
+                    self.stats.invalidations += 1
+                elif now >= entry.expires_at:
+                    del self._entries[key]
+                    self.stats.expirations += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return "hit", entry.value
+            negative = self._negatives.get(key)
+            if negative is not None:
+                if negative.versions != versions \
+                        or now >= negative.expires_at:
+                    del self._negatives[key]
+                else:
+                    self.stats.negative_hits += 1
+                    return "negative", negative.exception
+            flight = self._inflight.get(key)
+            if flight is not None and flight.versions == versions:
+                self.stats.collapsed += 1
+                return "follower", flight
+            flight = Flight(key, versions)
+            self._inflight[key] = flight
+            self.stats.misses += 1
+            return "leader", flight
+
+    def complete(self, flight: Flight, versions: VersionSnapshot,
+                 value: Any) -> None:
+        """Leader success: publish to the cache and wake the followers."""
+        self.put(flight.key, versions, value)
+        with self._lock:
+            if self._inflight.get(flight.key) is flight:
+                del self._inflight[flight.key]
+        flight.future.set_result(value)
+
+    def fail(self, flight: Flight, exception: BaseException,
+             negative: bool = False) -> None:
+        """Leader failure: wake followers; optionally cache the failure.
+
+        ``negative`` marks deterministic request errors — they are
+        replayed for ``negative_ttl_seconds`` so repeated bad requests
+        cost nothing.  Transient errors (overload, shard flaps) must
+        pass ``negative=False`` so the next request recomputes.
+        """
+        if negative:
+            now = self._clock()
+            with self._lock:
+                self._negatives[flight.key] = _NegativeEntry(
+                    exception=exception, versions=flight.versions,
+                    expires_at=now + self.negative_ttl_seconds,
+                )
+                self._negatives.move_to_end(flight.key)
+                while len(self._negatives) > self.max_entries:
+                    self._negatives.popitem(last=False)
+        with self._lock:
+            if self._inflight.get(flight.key) is flight:
+                del self._inflight[flight.key]
+        flight.future.set_exception(exception)
+
+    @property
+    def inflight(self) -> int:
+        """Number of computations currently in flight (for stats)."""
+        with self._lock:
+            return len(self._inflight)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._negatives.clear()
 
     def __len__(self) -> int:
         with self._lock:

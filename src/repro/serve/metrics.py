@@ -92,7 +92,12 @@ class ServiceMetrics:
         self.shed = 0
         self.deadline_exceeded = 0
         self.retries = 0
+        self.collapsed_misses = 0
+        self.negative_hits = 0
         self.overall = LatencyHistogram(histogram_capacity)
+        #: Per-shard fan-out task latency (fed by the docstore executor's
+        #: observer hook while this service is open).
+        self.shard_fanout = LatencyHistogram(histogram_capacity)
         self._per_engine: dict[str, LatencyHistogram] = {}
 
     def record_request(self, engine: str) -> None:
@@ -114,6 +119,20 @@ class ServiceMetrics:
     def record_retry(self) -> None:
         with self._lock:
             self.retries += 1
+
+    def record_collapsed(self) -> None:
+        """A miss collapsed onto another request's in-flight computation."""
+        with self._lock:
+            self.collapsed_misses += 1
+
+    def record_negative_hit(self) -> None:
+        """A request answered from the negative (known-failure) cache."""
+        with self._lock:
+            self.negative_hits += 1
+
+    def record_fanout(self, seconds: float) -> None:
+        """One per-shard task's wall time inside a scatter-gather."""
+        self.shard_fanout.observe(seconds)
 
     def record_latency(self, engine: str, seconds: float) -> None:
         self.overall.observe(seconds)
@@ -139,8 +158,11 @@ class ServiceMetrics:
             "shed": self.shed,
             "deadline_exceeded": self.deadline_exceeded,
             "retries": self.retries,
+            "collapsed_misses": self.collapsed_misses,
+            "negative_hits": self.negative_hits,
             "latency": {
                 "overall": self.overall.snapshot(),
+                "shard_fanout": self.shard_fanout.snapshot(),
                 **{name: histogram.snapshot()
                    for name, histogram in sorted(engines.items())},
             },

@@ -4,16 +4,21 @@ Request path (every engine the web front end exposes):
 
 1. the request is **normalized** (case/whitespace-folded, parameters
    sorted) into a cache key ``(engine, canonical params)``;
-2. the **result cache** is consulted against the current data-version
+2. the **result cache** is claimed against the current data-version
    snapshot — a hit returns the stored page without touching the
-   aggregation pipelines;
-3. a miss is **admitted** to a bounded worker pool (shed with
+   aggregation pipelines, a remembered deterministic failure replays
+   immediately (negative cache), and a miss on a key already being
+   computed *collapses* onto that in-flight computation (single-flight)
+   instead of queueing duplicate work;
+3. a leader miss is **admitted** to a bounded worker pool (shed with
    :class:`ServiceOverloadedError` when the queue is full, dropped with
    :class:`DeadlineExceededError` when its deadline lapses in queue);
 4. execution runs under a reader lock (ingest takes the writer side),
    with transient shard errors retried with backoff;
 5. counters and latency histograms record the outcome for
-   :meth:`QueryService.stats`.
+   :meth:`QueryService.stats` — including per-shard fan-out latency,
+   observed via the docstore executor's observer hook while the
+   service is open.
 
 Invalidation needs no explicit flush: every mutation bumps a version
 counter (``Collection``/``ShardedCollection`` on document writes, the
@@ -35,8 +40,13 @@ from repro.errors import (
     ServiceOverloadedError,
     ShardingError,
 )
+from repro.docstore.executor import (
+    add_fanout_observer,
+    executor_width,
+    remove_fanout_observer,
+)
 from repro.serve.admission import ReadWriteLock, WorkerPool, retry_call
-from repro.serve.cache import ResultCache, request_key
+from repro.serve.cache import Flight, ResultCache, request_key
 from repro.serve.metrics import ServiceMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -55,6 +65,7 @@ class ServeConfig:
     max_queue: int = 64
     cache_entries: int = 512
     cache_ttl_seconds: float = 300.0
+    negative_ttl_seconds: float = 30.0
     default_timeout_seconds: float | None = None
     retries: int = 2
     retry_backoff_seconds: float = 0.05
@@ -63,13 +74,19 @@ class ServeConfig:
 
 @dataclass
 class ServedResult:
-    """A query answer plus serving metadata."""
+    """A query answer plus serving metadata.
+
+    ``collapsed`` marks a result obtained by waiting on another
+    request's in-flight computation (single-flight follower) rather
+    than from the cache or from this request's own execution.
+    """
 
     engine: str
     value: Any
     cached: bool
     seconds: float
     versions: tuple[int, ...] = field(default_factory=tuple)
+    collapsed: bool = False
 
 
 class QueryService:
@@ -95,8 +112,10 @@ class QueryService:
         self.cache = ResultCache(
             max_entries=self.config.cache_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
+            negative_ttl_seconds=self.config.negative_ttl_seconds,
         )
         self.metrics = ServiceMetrics(self.config.histogram_capacity)
+        add_fanout_observer(self.metrics.record_fanout)
         self._pool = WorkerPool(
             num_workers=self.config.num_workers,
             max_queue=self.config.max_queue,
@@ -118,9 +137,12 @@ class QueryService:
                **params: Any) -> "Future[ServedResult]":
         """Admit one request; returns a future of :class:`ServedResult`.
 
-        Cache hits resolve immediately (no queueing).  ``timeout_seconds``
-        (or the config default) becomes an absolute deadline: a request
-        still queued when it passes fails with ``DeadlineExceededError``.
+        Cache hits (and remembered negative results) resolve immediately
+        with no queueing; a miss on a key already being computed returns
+        a future that collapses onto the in-flight computation.
+        ``timeout_seconds`` (or the config default) becomes an absolute
+        deadline: a request still queued when it passes fails with
+        ``DeadlineExceededError``.
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
@@ -132,28 +154,83 @@ class QueryService:
         self.metrics.record_request(engine)
         key = request_key(engine, params)
         versions = self._versions(engine)
-        hit, value = self.cache.get(key, versions)
-        if hit:
+        status, payload = self.cache.claim(key, versions)
+        if status == "hit":
             self.metrics.record_latency(engine,
                                         time.monotonic() - started)
             future: Future = Future()
             future.set_result(ServedResult(
-                engine=engine, value=value, cached=True,
+                engine=engine, value=payload, cached=True,
                 seconds=time.monotonic() - started, versions=versions,
             ))
             return future
+        if status == "negative":
+            self.metrics.record_negative_hit()
+            future = Future()
+            future.set_exception(payload)
+            return future
+        if status == "follower":
+            self.metrics.record_collapsed()
+            return self._follow(engine, payload, started, versions)
+        return self._lead(engine, params, key, payload, started,
+                          timeout_seconds, versions)
+
+    def _follow(self, engine: str, flight: Flight, started: float,
+                versions: tuple[int, ...]) -> "Future[ServedResult]":
+        """Wrap an in-flight leader computation as this request's future."""
+        future: "Future[ServedResult]" = Future()
+
+        def relay(inner: Future) -> None:
+            exception = inner.exception()
+            if exception is not None:
+                future.set_exception(exception)
+                return
+            seconds = time.monotonic() - started
+            self.metrics.record_latency(engine, seconds)
+            future.set_result(ServedResult(
+                engine=engine, value=inner.result(), cached=False,
+                seconds=seconds, versions=versions, collapsed=True,
+            ))
+
+        flight.future.add_done_callback(relay)
+        return future
+
+    def _lead(self, engine: str, params: dict[str, Any], key: Any,
+              flight: Flight, started: float,
+              timeout_seconds: float | None,
+              versions: tuple[int, ...]) -> "Future[ServedResult]":
+        """Queue the leader's computation; settle the flight in all paths."""
         timeout = (timeout_seconds if timeout_seconds is not None
                    else self.config.default_timeout_seconds)
         deadline = None if timeout is None else started + timeout
         try:
             future = self._pool.submit(
                 lambda: self._execute(engine, params, key, started,
-                                      deadline),
+                                      deadline, flight),
                 deadline=deadline,
             )
-        except ServiceOverloadedError:
+        except ServiceOverloadedError as exc:
+            # Shed before execution: wake followers so they don't hang.
+            self.cache.fail(flight, exc)
             self.metrics.record_shed()
             raise
+
+        def settle_if_dropped(outer: "Future[ServedResult]") -> None:
+            # _execute settles the flight before the pool future
+            # resolves, so an unsettled flight here means the task
+            # never ran (deadline drop in queue, or shutdown cancel).
+            if flight.future.done():
+                return
+            if outer.cancelled():
+                self.cache.fail(flight, ServiceClosedError(
+                    "service closed before execution"
+                ))
+                return
+            exception = outer.exception()
+            if exception is not None:
+                self.cache.fail(flight, exception)
+
+        future.add_done_callback(settle_if_dropped)
         future.add_done_callback(self._count_deadline_drop)
         return future
 
@@ -197,11 +274,14 @@ class QueryService:
             "entries": len(self.cache),
             "max_entries": self.cache.max_entries,
             "ttl_seconds": self.cache.ttl_seconds,
+            "negative_ttl_seconds": self.cache.negative_ttl_seconds,
+            "inflight": self.cache.inflight,
         }
         snapshot["admission"] = {
             "workers": self._pool.num_workers,
             "max_queue": self._pool.max_queue,
             "pending": self._pool.pending,
+            "executor_width": executor_width(),
         }
         snapshot["versions"] = {
             "store": self.system.store.version,
@@ -213,6 +293,7 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        remove_fanout_observer(self.metrics.record_fanout)
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "QueryService":
@@ -238,8 +319,8 @@ class QueryService:
         return (system.store.version,)
 
     def _execute(self, engine: str, params: dict[str, Any],
-                 key: Any, started: float,
-                 deadline: float | None) -> ServedResult:
+                 key: Any, started: float, deadline: float | None,
+                 flight: Flight) -> ServedResult:
         runner = self._dispatch[engine]
         try:
             with self._data_lock.read_locked():
@@ -252,10 +333,14 @@ class QueryService:
                     deadline=deadline,
                     on_retry=self.metrics.record_retry,
                 )
-        except Exception:
+        except Exception as exc:
+            # A deterministic request error (bad query) is worth
+            # remembering; transient failures must stay uncached.
+            self.cache.fail(flight, exc,
+                            negative=isinstance(exc, QueryError))
             self.metrics.record_error(engine)
             raise
-        self.cache.put(key, versions, value)
+        self.cache.complete(flight, versions, value)
         seconds = time.monotonic() - started
         self.metrics.record_latency(engine, seconds)
         return ServedResult(engine=engine, value=value, cached=False,

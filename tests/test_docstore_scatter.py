@@ -1,0 +1,194 @@
+"""Differential tests: parallel scatter-gather vs. the serial reference.
+
+``REPRO_EXECUTOR_WIDTH=1`` forces every fan-out down the inline serial
+path, which is the reference implementation; the parallel path must
+return byte-identical results for every multi-shard operation.
+"""
+
+import pytest
+
+from repro.docstore.executor import WIDTH_ENV, shutdown_executor
+from repro.docstore.sharding import ShardedCollection
+from repro.errors import ShardingError
+
+NUM_SHARDS = 5
+
+
+def build_store():
+    store = ShardedCollection("papers", shard_key="paper_id",
+                             num_shards=NUM_SHARDS)
+    store.create_index("year")
+    store.insert_many([
+        {"paper_id": f"p{i:03d}", "year": 2019 + (i % 4),
+         "cites": (i * 7) % 23, "group": i % 3}
+        for i in range(80)
+    ])
+    return store
+
+
+@pytest.fixture(autouse=True)
+def clean_pool():
+    shutdown_executor()
+    yield
+    shutdown_executor()
+
+
+def scrub(value):
+    """Drop ``_id`` (a process-global counter differing between builds)."""
+    if isinstance(value, dict):
+        return {key: scrub(item) for key, item in value.items()
+                if key != "_id"}
+    if isinstance(value, (list, tuple)):
+        return type(value)(scrub(item) for item in value)
+    return value
+
+
+def differential(monkeypatch, operation):
+    """Run ``operation`` on the parallel path, then on the serial one."""
+    monkeypatch.delenv(WIDTH_ENV, raising=False)
+    parallel = operation(build_store())
+    monkeypatch.setenv(WIDTH_ENV, "1")
+    serial = operation(build_store())
+    return scrub(parallel), scrub(serial)
+
+
+class TestDifferentialReads:
+    def test_find_identical(self, monkeypatch):
+        parallel, serial = differential(
+            monkeypatch,
+            lambda store: store.find({"year": {"$gte": 2020}}).to_list(),
+        )
+        assert parallel == serial
+        assert len(parallel) > 0
+
+    def test_find_all_identical(self, monkeypatch):
+        parallel, serial = differential(
+            monkeypatch, lambda store: store.find().to_list()
+        )
+        assert parallel == serial
+        assert len(parallel) == 80
+
+    def test_count_identical(self, monkeypatch):
+        parallel, serial = differential(
+            monkeypatch, lambda store: store.count({"group": 1})
+        )
+        assert parallel == serial > 0
+
+    def test_find_one_targeted(self, monkeypatch):
+        parallel, serial = differential(
+            monkeypatch, lambda store: store.find_one({"paper_id": "p042"})
+        )
+        assert parallel == serial
+        assert parallel["paper_id"] == "p042"
+
+    def test_find_one_scatter_returns_a_match(self, monkeypatch):
+        # Non-targeted find_one races shards: any matching document is a
+        # correct answer, so assert the contract rather than identity.
+        monkeypatch.delenv(WIDTH_ENV, raising=False)
+        store = build_store()
+        hit = store.find_one({"group": 2})
+        assert hit is not None and hit["group"] == 2
+        assert store.find_one({"year": 1900}) is None
+
+    def test_aggregate_ranked_page_identical(self, monkeypatch):
+        stages = [
+            {"$match": {"year": {"$gte": 2020}}},
+            {"$project": {"paper_id": 1, "cites": 1, "year": 1}},
+            {"$sort": {"cites": -1, "paper_id": 1}},
+            {"$skip": 5},
+            {"$limit": 10},
+        ]
+        parallel, serial = differential(
+            monkeypatch, lambda store: store.aggregate(stages).documents
+        )
+        assert parallel == serial
+        assert len(parallel) == 10
+
+    def test_aggregate_full_sort_identical(self, monkeypatch):
+        stages = [
+            {"$match": {"group": {"$in": [0, 2]}}},
+            {"$sort": {"cites": -1, "paper_id": 1}},
+        ]
+        parallel, serial = differential(
+            monkeypatch, lambda store: store.aggregate(stages).documents
+        )
+        assert parallel == serial
+
+    def test_aggregate_group_suffix_identical(self, monkeypatch):
+        stages = [
+            {"$match": {"year": {"$gte": 2019}}},
+            {"$group": {"_id": "$group", "total": {"$sum": "$cites"}}},
+            {"$sort": {"_id": 1}},
+        ]
+        parallel, serial = differential(
+            monkeypatch, lambda store: store.aggregate(stages).documents
+        )
+        assert parallel == serial
+
+
+class TestDifferentialWrites:
+    def test_update_many_identical(self, monkeypatch):
+        def operation(store):
+            updated = store.update_many({"group": 0},
+                                        {"$set": {"flag": True}})
+            return updated, store.find({"flag": True}).to_list()
+
+        parallel, serial = differential(monkeypatch, operation)
+        assert parallel == serial
+        assert parallel[0] > 0
+
+    def test_delete_many_identical(self, monkeypatch):
+        def operation(store):
+            deleted = store.delete_many({"year": 2019})
+            return deleted, store.count()
+
+        parallel, serial = differential(monkeypatch, operation)
+        assert parallel == serial
+
+    def test_rebalance_identical(self, monkeypatch):
+        def operation(store):
+            store.rebalance(NUM_SHARDS + 3)
+            return sorted(doc["paper_id"] for doc in store.find().to_list())
+
+        parallel, serial = differential(monkeypatch, operation)
+        assert parallel == serial
+        assert len(parallel) == 80
+
+
+class TestInsertManyGrouping:
+    def test_ids_in_batch_order(self):
+        store = ShardedCollection("t", shard_key="k", num_shards=4)
+        docs = [{"k": f"key{i}", "n": i} for i in range(20)]
+        ids = store.insert_many(docs)
+        assert len(ids) == 20
+        for i, doc_id in enumerate(ids):
+            found = store.find_one({"_id": doc_id})
+            assert found["n"] == i
+
+    def test_bulk_insert_per_shard(self, monkeypatch):
+        # One Collection.insert_many call per touched shard, not one
+        # routed insert per document.
+        store = ShardedCollection("t", shard_key="k", num_shards=4)
+        calls = []
+        for shard in store.shards:
+            original = shard.insert_many
+
+            def counting(batch, _original=original, _name=shard.name):
+                calls.append((_name, len(list(batch))))
+                return _original(batch)
+
+            monkeypatch.setattr(shard, "insert_many", counting)
+        store.insert_many([{"k": f"key{i}"} for i in range(40)])
+        assert len(calls) <= 4
+        assert sum(count for _, count in calls) == 40
+
+    def test_missing_shard_key_keeps_prior_inserts(self):
+        store = ShardedCollection("t", shard_key="k", num_shards=4)
+        batch = [{"k": "a"}, {"k": "b"}, {"wrong": 1}, {"k": "c"}]
+        with pytest.raises(ShardingError):
+            store.insert_many(batch)
+        # Documents before the bad one landed; the ones after did not.
+        assert store.count() == 2
+        assert store.find_one({"k": "a"}) is not None
+        assert store.find_one({"k": "b"}) is not None
+        assert store.find_one({"k": "c"}) is None
