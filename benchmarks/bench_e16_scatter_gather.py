@@ -127,6 +127,68 @@ def test_e16_serial_vs_parallel_shard_fanout(corpus, monkeypatch):
         assert ratio > 0.1
 
 
+def test_e16_preflight_validation_overhead(corpus):
+    """Pre-flight validation is noise next to a sharded scatter-gather.
+
+    ``ShardedCollection.aggregate(..., validate=True)`` checks the
+    pipeline once on the router before fanning out; the check must stay
+    <1% of the aggregation wall time or "fail fast" quietly becomes
+    "run slow".
+    """
+    from repro.analysis.pipeline_check import validate_pipeline
+    from repro.docstore.functions import FunctionRegistry
+    from repro.docstore.sharding import ShardedCollection
+    from repro.search.indexing import build_search_document
+
+    collection = ShardedCollection("papers", shard_key="paper_id",
+                                   num_shards=4)
+    collection.insert_many([build_search_document(p) for p in corpus])
+    registry = FunctionRegistry()
+    registry.register(
+        "rank",
+        lambda doc: len(doc.get("search", {}).get("body", "")),
+    )
+    pipeline = [
+        {"$match": {"search.body": {"$regex": "vaccine"}}},
+        {"$function": {"name": "rank", "as": "score"}},
+        {"$sort": {"score": -1}},
+        {"$limit": 10},
+    ]
+
+    def best(fn, repeats):
+        fastest = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            fastest = min(fastest, time.perf_counter() - started)
+        return fastest
+
+    validate_s = best(lambda: validate_pipeline(pipeline, registry), 20)
+    execute_s = best(
+        lambda: collection.aggregate(pipeline, registry, validate=False),
+        5,
+    )
+    checked = collection.aggregate(pipeline, registry, validate=True)
+    unchecked = collection.aggregate(pipeline, registry, validate=False)
+    assert checked.documents == unchecked.documents
+
+    fraction = validate_s / execute_s
+    print_table(
+        "E16: pre-flight validation vs sharded aggregation",
+        ["validate us", "sharded aggregate ms", "overhead"],
+        [[f"{validate_s * 1e6:.1f}", f"{execute_s * 1e3:.2f}",
+          f"{fraction * 100:.3f}%"]],
+        note="router validates once, before any shard fan-out",
+    )
+    RESULTS["preflight_validation"] = {
+        "validate_seconds": validate_s,
+        "aggregate_seconds": execute_s,
+        "overhead_fraction": fraction,
+    }
+    assert fraction < 0.01
+    shutdown_executor()
+
+
 def test_e16_single_flight_stampede(corpus):
     """N concurrent identical misses -> exactly one computation."""
     hammer = 16

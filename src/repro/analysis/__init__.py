@@ -1,0 +1,62 @@
+"""``repro.analysis`` — static analysis and runtime race checking.
+
+Three correctness tools for the concurrent serving/docstore tiers:
+
+* :mod:`repro.analysis.lint` — a visitor-based AST lint framework with
+  repo-specific concurrency rules (unguarded shared state, blocking
+  calls under locks, nested fan-out, nondeterministic rank functions)
+  plus generic hygiene rules, a suppression comment syntax, and a
+  checked-in baseline so CI fails only on *new* findings.
+* :mod:`repro.analysis.racecheck` — instrumented drop-in ``Lock`` /
+  ``RLock`` / ``Condition`` wrappers (enabled via ``REPRO_RACECHECK=1``)
+  that build a global lock-order graph, report cycles (potential
+  deadlocks), and flag executor fan-outs performed while holding a lock.
+* :mod:`repro.analysis.pipeline_check` — a pre-flight validator for
+  aggregation pipelines: stage names, expression operators, ``$function``
+  resolution against the registry, shape errors, and perf warnings —
+  so malformed requests fail fast instead of mid-scatter.
+
+The package ``__init__`` is deliberately lazy: the docstore/serve
+modules import :mod:`repro.analysis.racecheck` at startup, and that
+must not drag the AST tooling (or anything heavier) into every process.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "Finding",
+    "PipelineIssue",
+    "PipelineValidationError",
+    "default_rules",
+    "lint_paths",
+    "validate_pipeline",
+    "ensure_valid_pipeline",
+]
+
+_LAZY = {
+    "Finding": ("repro.analysis.lint", "Finding"),
+    "lint_paths": ("repro.analysis.lint", "lint_paths"),
+    "default_rules": ("repro.analysis.rules", "default_rules"),
+    "PipelineIssue": ("repro.analysis.pipeline_check", "PipelineIssue"),
+    "PipelineValidationError": (
+        "repro.analysis.pipeline_check", "PipelineValidationError"
+    ),
+    "validate_pipeline": (
+        "repro.analysis.pipeline_check", "validate_pipeline"
+    ),
+    "ensure_valid_pipeline": (
+        "repro.analysis.pipeline_check", "ensure_valid_pipeline"
+    ),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

@@ -1,0 +1,240 @@
+"""Custom AST lint framework: findings, suppressions, baselines.
+
+The engine is deliberately small: a rule is an object with a ``rule_id``
+and a ``check(source)`` generator; the framework handles file discovery,
+parsing, suppression comments, stable ordering, and baseline diffing.
+
+Suppressing a finding
+    Append ``# lint: allow=<rule-id>`` (comma-separate several ids, or
+    ``allow=all``) to the flagged line, or put the comment alone on the
+    line directly above it.
+
+Baselines
+    A baseline is a JSON file recording accepted findings as
+    ``(rule, path, source-line-text)`` triples — line *text*, not line
+    numbers, so unrelated edits that shift code do not resurrect old
+    findings.  :func:`new_findings` returns only findings not covered by
+    the baseline (multiset semantics: two identical lines need two
+    baseline entries).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+#: Marker introducing a suppression comment.
+SUPPRESS_MARKER = "lint: allow="
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: where, which rule, how bad, and why."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    message: str
+    snippet: str = ""  # stripped source line (baseline matching key)
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line-number drift."""
+        return (self.rule, self.path, self.snippet)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}: {self.rule} "
+                f"[{self.severity}] {self.message}")
+
+
+class Source:
+    """One parsed module handed to every rule."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class LintRule:
+    """Base class: subclasses set the id/severity and implement check()."""
+
+    rule_id: str = ""
+    severity: str = "warning"
+    description: str = ""
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, source: Source, node: ast.AST | int,
+                message: str) -> Finding:
+        lineno = node if isinstance(node, int) else node.lineno
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=source.path,
+            line=lineno,
+            message=message,
+            snippet=source.line_text(lineno).strip(),
+        )
+
+
+def _allowed_rules(line: str) -> set[str] | None:
+    """The rule ids a source line's suppression comment allows, if any."""
+    marker = line.find(SUPPRESS_MARKER)
+    if marker < 0 or "#" not in line[:marker]:
+        return None
+    spec = line[marker + len(SUPPRESS_MARKER):].split()[0] if \
+        line[marker + len(SUPPRESS_MARKER):].split() else ""
+    return {rule.strip() for rule in spec.split(",") if rule.strip()}
+
+
+def is_suppressed(source: Source, finding: Finding) -> bool:
+    """True when the flagged line (or the line above) allows the rule."""
+    for lineno in (finding.line, finding.line - 1):
+        allowed = _allowed_rules(source.line_text(lineno))
+        if allowed is not None and \
+                (finding.rule in allowed or "all" in allowed):
+            return True
+    return False
+
+
+# -- running ---------------------------------------------------------------
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_source(source: Source,
+                rules: Iterable[LintRule]) -> list[Finding]:
+    """Apply every rule to one parsed module, dropping suppressed hits."""
+    findings = []
+    for rule in rules:
+        for finding in rule.check(source):
+            if not is_suppressed(source, finding):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(paths: Sequence[str | Path],
+               rules: Iterable[LintRule] | None = None,
+               root: str | Path | None = None) -> list[Finding]:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    Paths in findings are made relative to ``root`` (default: the
+    current directory) with forward slashes, so baselines are portable
+    across machines and OSes.
+    """
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    rules = list(rules)
+    root = Path(root) if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            relative = file_path.resolve().relative_to(root.resolve())
+        except ValueError:
+            relative = file_path
+        text = file_path.read_text(encoding="utf-8")
+        try:
+            source = Source(relative.as_posix(), text)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="REP000", severity="error",
+                path=relative.as_posix(), line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        findings.extend(lint_source(source, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# -- baselines -------------------------------------------------------------
+
+def load_baseline(path: str | Path) -> Counter:
+    """The accepted-finding multiset from a baseline file (empty if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return Counter(
+        (entry["rule"], entry["path"], entry.get("snippet", ""))
+        for entry in payload.get("findings", [])
+    )
+
+
+def save_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    payload = {
+        "version": 1,
+        "comment": (
+            "Accepted repro.analysis lint findings. CI fails only on "
+            "findings NOT listed here; regenerate with "
+            "`repro-covidkg analyze --update-baseline`."
+        ),
+        "findings": [finding.to_json() for finding in findings],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def new_findings(findings: Iterable[Finding],
+                 baseline: Counter) -> list[Finding]:
+    """Findings not covered by the baseline (multiset semantics)."""
+    remaining = Counter(baseline)
+    fresh = []
+    for finding in findings:
+        if remaining[finding.key()] > 0:
+            remaining[finding.key()] -= 1
+        else:
+            fresh.append(finding)
+    return fresh
+
+
+def format_findings(findings: Sequence[Finding],
+                    output_format: str = "text") -> str:
+    """Render findings for the CLI (``text`` or ``json``)."""
+    if output_format == "json":
+        return json.dumps(
+            [finding.to_json() for finding in findings], indent=2
+        )
+    lines = [str(finding) for finding in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(
+        f"{len(findings)} finding(s): {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+    return "\n".join(lines)

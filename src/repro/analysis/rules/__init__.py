@@ -1,0 +1,46 @@
+"""The repo's lint rule set.
+
+``default_rules()`` returns one instance of every rule, concurrency and
+generic alike; the CLI and the tests both go through it so the two can
+never disagree about what "the linter" means.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import LintRule
+from repro.analysis.rules.concurrency import (
+    BlockingCallUnderLock,
+    NestedFanOut,
+    NondeterministicRankFunction,
+    UnguardedSharedState,
+)
+from repro.analysis.rules.generic import (
+    BareExcept,
+    MutableDefaultArg,
+    SwallowedAggregationError,
+)
+
+__all__ = [
+    "default_rules",
+    "UnguardedSharedState",
+    "BlockingCallUnderLock",
+    "NestedFanOut",
+    "NondeterministicRankFunction",
+    "MutableDefaultArg",
+    "BareExcept",
+    "SwallowedAggregationError",
+]
+
+
+def default_rules() -> list[LintRule]:
+    """One instance of every rule, in stable rule-id order."""
+    rules = [
+        MutableDefaultArg(),
+        BareExcept(),
+        SwallowedAggregationError(),
+        UnguardedSharedState(),
+        BlockingCallUnderLock(),
+        NestedFanOut(),
+        NondeterministicRankFunction(),
+    ]
+    return sorted(rules, key=lambda rule: rule.rule_id)

@@ -1,0 +1,559 @@
+"""Concurrency lint rules tuned to this repo's serving/docstore tiers.
+
+All four rules reason about the same two primitives the codebase builds
+on: mutual exclusion via ``with <lock>:`` blocks, and shard fan-out via
+:func:`repro.docstore.executor.scatter` / ``scatter_first``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, LintRule, Source
+
+#: A `with` context expression counts as a lock guard when its terminal
+#: name looks like a mutex (``self._lock``, ``ObjectId._lock``,
+#: ``self._condition``, a bare module-level ``_lock`` ...).
+_LOCKISH = ("lock", "condition", "mutex")
+
+#: Method calls that mutate their receiver (so ``self._entries.pop(...)``
+#: counts as a *write* to ``self._entries``).
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "add", "discard", "setdefault", "move_to_end", "sort",
+    "reverse",
+})
+
+#: Methods where lock-free initialization of shared attributes is fine.
+_SETUP_METHODS = frozenset({
+    "__init__", "__new__", "__post_init__", "__del__", "__enter__",
+    "__exit__",
+})
+
+_FANOUT_CALLS = frozenset({"scatter", "scatter_first"})
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_lock_guard(expr: ast.expr) -> bool:
+    name = _terminal_name(expr)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(token in lowered for token in _LOCKISH)
+
+
+def _lock_guard_name(with_node: ast.With) -> str | None:
+    for item in with_node.items:
+        if _is_lock_guard(item.context_expr):
+            return _terminal_name(item.context_expr)
+    return None
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a pure chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+class _Access:
+    """One read or write of a shared name inside a function."""
+
+    __slots__ = ("name", "function", "lineno", "is_write", "under_lock")
+
+    def __init__(self, name: str, function: str, lineno: int,
+                 is_write: bool, under_lock: bool) -> None:
+        self.name = name
+        self.function = function
+        self.lineno = lineno
+        self.is_write = is_write
+        self.under_lock = under_lock
+
+
+def _first_level_attr(node: ast.Attribute, owner: str) -> str | None:
+    """The ``X`` in ``<owner>.X[.anything]``; None for other receivers."""
+    chain = _attr_chain(node)
+    if len(chain) >= 2 and chain[0] == owner:
+        return chain[1]
+    return None
+
+
+class _AccessCollector(ast.NodeVisitor):
+    """Record shared-state accesses within one function body.
+
+    ``owner`` selects what counts as shared state: a method's ``self``
+    argument name (attribute accesses ``self.X``), or ``None`` for
+    module-level functions (accesses to module globals from ``names``).
+    """
+
+    def __init__(self, function_name: str, owner: str | None,
+                 names: frozenset[str]) -> None:
+        self.function = function_name
+        self.owner = owner
+        self.names = names
+        self.lock_depth = 0
+        self.accesses: list[_Access] = []
+
+    # -- helpers ----------------------------------------------------------
+
+    def _record(self, name: str | None, lineno: int,
+                is_write: bool) -> None:
+        if name is None or name not in self.names:
+            return
+        lowered = name.lower()
+        if any(token in lowered for token in _LOCKISH):
+            return
+        self.accesses.append(_Access(
+            name, self.function, lineno, is_write, self.lock_depth > 0,
+        ))
+
+    def _target_name(self, node: ast.expr) -> tuple[str | None, int]:
+        """The shared name a store/delete target touches, with its line."""
+        while isinstance(node, (ast.Subscript, ast.Starred)):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            if self.owner is not None:
+                return _first_level_attr(node, self.owner), node.lineno
+            return None, node.lineno
+        if isinstance(node, ast.Name) and self.owner is None:
+            return node.id, node.lineno
+        return None, getattr(node, "lineno", 0)
+
+    def _record_store_targets(self, targets: list[ast.expr]) -> None:
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                self._record_store_targets(list(target.elts))
+                continue
+            name, lineno = self._target_name(target)
+            self._record(name, lineno, is_write=True)
+
+    # -- visitors ---------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = any(
+            _is_lock_guard(item.context_expr) for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        if guarded:
+            self.lock_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        if guarded:
+            self.lock_depth -= 1
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_store_targets(node.targets)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        name, lineno = self._target_name(node.target)
+        self._record(name, lineno, is_write=True)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_store_targets([node.target])
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._record_store_targets(node.targets)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # Mutating method calls are writes to the receiver.
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                func.attr in _MUTATING_METHODS:
+            name, lineno = self._target_name(func.value)
+            self._record(name, lineno, is_write=True)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.owner is not None and isinstance(node.ctx, ast.Load):
+            self._record(
+                _first_level_attr(node, self.owner), node.lineno,
+                is_write=False,
+            )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if self.owner is None and isinstance(node.ctx, ast.Load):
+            self._record(node.id, node.lineno, is_write=False)
+
+    # Nested defs share the enclosing function's lock context only when
+    # they run inline; treat them as part of the same function (closures
+    # passed to scatter() are covered by the nested-fan-out rule).
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for statement in node.body:
+            self.visit(statement)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.visit(node.body)
+
+
+class UnguardedSharedState(LintRule):
+    """REP201: state locked in one method, touched lock-free in another."""
+
+    rule_id = "REP201"
+    severity = "error"
+    description = (
+        "an attribute (or module global) written under a lock in one "
+        "function is read or written without the lock in another"
+    )
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        for scope in self._scopes(source.tree):
+            yield from self._check_scope(source, *scope)
+
+    def _scopes(self, tree: ast.Module):
+        # Classes: shared state is `self.X`.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                methods = [
+                    child for child in node.body
+                    if isinstance(child, ast.FunctionDef)
+                ]
+                yield node.name, methods, self._self_name, None
+        # Module level: shared state is assigned module globals.
+        functions = [
+            child for child in tree.body
+            if isinstance(child, ast.FunctionDef)
+        ]
+        module_names = frozenset(
+            target.id
+            for child in tree.body
+            if isinstance(child, (ast.Assign, ast.AnnAssign))
+            for target in (
+                child.targets if isinstance(child, ast.Assign)
+                else [child.target]
+            )
+            if isinstance(target, ast.Name)
+        )
+        yield "<module>", functions, lambda method: None, module_names
+
+    @staticmethod
+    def _self_name(method: ast.FunctionDef) -> str | None:
+        for decorator in method.decorator_list:
+            if isinstance(decorator, ast.Name) and \
+                    decorator.id in ("staticmethod", "classmethod"):
+                return None
+        if method.args.args:
+            return method.args.args[0].arg
+        return None
+
+    def _check_scope(self, source: Source, scope_name: str,
+                     functions: list[ast.FunctionDef], owner_of,
+                     module_names: frozenset[str] | None
+                     ) -> Iterator[Finding]:
+        accesses: list[_Access] = []
+        for function in functions:
+            owner = owner_of(function)
+            if module_names is None and owner is None:
+                continue  # static method: no shared `self` state
+            collector = _AccessCollector(
+                function.name, owner,
+                module_names if module_names is not None else _AnyName(),
+            )
+            for statement in function.body:
+                collector.visit(statement)
+            accesses.extend(collector.accesses)
+
+        guarded = {
+            access.name for access in accesses
+            if access.is_write and access.under_lock
+        }
+        if not guarded:
+            return
+        seen: set[tuple[str, str]] = set()
+        for access in accesses:
+            if access.name not in guarded or access.under_lock:
+                continue
+            if access.function in _SETUP_METHODS:
+                continue
+            marker = (access.function, access.name)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            kind = "written" if access.is_write else "read"
+            yield self.finding(
+                source, access.lineno,
+                f"{scope_name}.{access.name} is guarded by a lock "
+                f"elsewhere but {kind} lock-free in "
+                f"{access.function}()",
+            )
+
+
+class _AnyName:
+    """A name universe that contains every string (for `self.X` scopes)."""
+
+    def __contains__(self, name: object) -> bool:
+        return True
+
+
+class BlockingCallUnderLock(LintRule):
+    """REP202: sleeping / joining / I/O while holding a lock."""
+
+    rule_id = "REP202"
+    severity = "error"
+    description = (
+        "a blocking call (sleep, Future.result, executor submit/"
+        "shutdown, file or socket I/O) inside a `with <lock>:` body "
+        "serializes every other thread behind it and can deadlock "
+        "bounded pools"
+    )
+
+    _BLOCKING_ATTRS = frozenset({
+        "result", "submit", "recv", "send", "connect", "accept",
+    })
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        time_sleep_names = self._imported_names(
+            source.tree, "time", {"sleep"}
+        )
+        yield from self._walk(
+            source, source.tree, guard=None,
+            time_sleep_names=time_sleep_names,
+        )
+
+    @staticmethod
+    def _imported_names(tree: ast.Module, module: str,
+                        wanted: set[str]) -> frozenset[str]:
+        names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == module:
+                for alias in node.names:
+                    if alias.name in wanted:
+                        names.add(alias.asname or alias.name)
+        return frozenset(names)
+
+    def _walk(self, source: Source, node: ast.AST, guard: str | None,
+              time_sleep_names: frozenset[str]) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_guard = guard
+            if isinstance(child, ast.With):
+                child_guard = _lock_guard_name(child) or guard
+            if guard is not None and isinstance(child, ast.Call):
+                blocked = self._blocking_reason(child, time_sleep_names)
+                if blocked is not None:
+                    yield self.finding(
+                        source, child,
+                        f"{blocked} while holding {guard!r}",
+                    )
+            yield from self._walk(
+                source, child, child_guard, time_sleep_names
+            )
+
+    def _blocking_reason(self, call: ast.Call,
+                         time_sleep_names: frozenset[str]) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "file I/O (open)"
+            if func.id in time_sleep_names:
+                return "time.sleep"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        chain = _attr_chain(func)
+        if chain[:2] == ["time", "sleep"]:
+            return "time.sleep"
+        if chain and chain[0] in ("socket", "requests", "urllib",
+                                  "http", "httpx"):
+            return f"network I/O ({'.'.join(chain)})"
+        if func.attr == "shutdown":
+            if not self._wait_is_false(call):
+                return "blocking executor shutdown"
+            return None
+        if func.attr == "join" and not call.args:
+            return "thread join"
+        if func.attr in self._BLOCKING_ATTRS:
+            return f"blocking call .{func.attr}()"
+        return None
+
+    @staticmethod
+    def _wait_is_false(call: ast.Call) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg == "wait" and \
+                    isinstance(keyword.value, ast.Constant):
+                return keyword.value.value is False
+        return False
+
+
+class NestedFanOut(LintRule):
+    """REP203: a scatter() task that itself scatters on the shared pool."""
+
+    rule_id = "REP203"
+    severity = "error"
+    description = (
+        "a task submitted to the shared shard executor performs its own "
+        "fan-out; nested submissions to a bounded pool can deadlock "
+        "(the executor runs nested fan-outs inline, so this also "
+        "silently serializes)"
+    )
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        local_defs: dict[str, ast.FunctionDef] = {
+            node.name: node
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            if name not in _FANOUT_CALLS or not node.args:
+                continue
+            for task in self._task_bodies(node.args[0], local_defs):
+                yield from self._scan_task(source, task, local_defs)
+
+    @staticmethod
+    def _task_bodies(tasks_expr: ast.expr,
+                     local_defs: dict[str, ast.FunctionDef]
+                     ) -> list[ast.AST]:
+        candidates: list[ast.expr] = []
+        if isinstance(tasks_expr, (ast.List, ast.Tuple, ast.Set)):
+            candidates = list(tasks_expr.elts)
+        elif isinstance(tasks_expr, (ast.ListComp, ast.GeneratorExp,
+                                     ast.SetComp)):
+            candidates = [tasks_expr.elt]
+        bodies: list[ast.AST] = []
+        for candidate in candidates:
+            if isinstance(candidate, ast.Lambda):
+                bodies.append(candidate.body)
+            elif isinstance(candidate, ast.Name) and \
+                    candidate.id in local_defs:
+                bodies.append(local_defs[candidate.id])
+        return bodies
+
+    def _scan_task(self, source: Source, body: ast.AST,
+                   local_defs: dict[str, ast.FunctionDef],
+                   depth: int = 0,
+                   visited: set[str] | None = None) -> Iterator[Finding]:
+        visited = visited if visited is not None else set()
+        for node in ast.walk(body):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            if name in _FANOUT_CALLS:
+                yield self.finding(
+                    source, node,
+                    "fan-out inside a task already running on the shard "
+                    "executor (nested scatter)",
+                )
+            elif isinstance(node.func, ast.Name) and depth < 2 and \
+                    node.func.id in local_defs and \
+                    node.func.id not in visited:
+                visited.add(node.func.id)
+                yield from self._scan_task(
+                    source, local_defs[node.func.id], local_defs,
+                    depth + 1, visited,
+                )
+
+
+class NondeterministicRankFunction(LintRule):
+    """REP204: clock/RNG use in a registered ``$function`` callable."""
+
+    rule_id = "REP204"
+    severity = "error"
+    description = (
+        "a function registered with a FunctionRegistry uses time or "
+        "randomness, so repeated pipeline runs (and per-shard partials) "
+        "rank differently"
+    )
+
+    _NONDETERMINISTIC_ROOTS = ("random", "secrets", "uuid")
+    _TIME_CALLS = frozenset({
+        "time", "monotonic", "perf_counter", "time_ns", "process_time",
+    })
+    _DATETIME_CALLS = frozenset({"now", "utcnow", "today"})
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        nondeterministic_imports = self._nondeterministic_imports(
+            source.tree
+        )
+        for registered, name in self._registered_functions(source.tree):
+            for node in ast.walk(registered):
+                reason = self._reason(node, nondeterministic_imports)
+                if reason is not None:
+                    yield self.finding(
+                        source, node,
+                        f"registered $function {name!r} uses {reason}; "
+                        "pipeline rankings become nondeterministic",
+                    )
+
+    @staticmethod
+    def _nondeterministic_imports(tree: ast.Module) -> frozenset[str]:
+        names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and \
+                    node.module in ("random", "time", "secrets", "uuid"):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+        return frozenset(names)
+
+    def _registered_functions(self, tree: ast.Module):
+        defs: dict[str, ast.FunctionDef] = {
+            node.name: node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef):
+                for decorator in node.decorator_list:
+                    target = decorator.func if \
+                        isinstance(decorator, ast.Call) else decorator
+                    if isinstance(target, ast.Attribute) and \
+                            target.attr == "register":
+                        yield node, node.name
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "register":
+                receiver = _terminal_name(node.func.value) or ""
+                if "registr" not in receiver.lower() and \
+                        receiver != "functions":
+                    continue
+                for arg in node.args[1:2]:
+                    if isinstance(arg, ast.Name) and arg.id in defs:
+                        yield defs[arg.id], arg.id
+                    elif isinstance(arg, ast.Lambda):
+                        yield arg, "<lambda>"
+
+    def _reason(self, node: ast.AST,
+                imported: frozenset[str]) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in imported:
+            return f"{func.id}() (imported from a nondeterministic module)"
+        if not isinstance(func, ast.Attribute):
+            return None
+        chain = _attr_chain(func)
+        if not chain:
+            return None
+        if any(part in self._NONDETERMINISTIC_ROOTS for part in
+               chain[:-1]):
+            return ".".join(chain)
+        if chain[0] == "time" and chain[-1] in self._TIME_CALLS:
+            return ".".join(chain)
+        if func.attr in self._DATETIME_CALLS and any(
+                "date" in part for part in chain[:-1]):
+            return ".".join(chain)
+        return None

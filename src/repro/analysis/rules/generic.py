@@ -1,0 +1,115 @@
+"""Generic hygiene rules (not concurrency-specific)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, LintRule, Source
+
+
+class MutableDefaultArg(LintRule):
+    """REP101: ``def f(x=[])`` — the default is shared across calls."""
+
+    rule_id = "REP101"
+    severity = "warning"
+    description = (
+        "a mutable default argument is created once and shared by every "
+        "call; use None and construct inside the body"
+    )
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict",
+                                "Counter", "OrderedDict"})
+
+    def _is_mutable(self, default: ast.expr | None) -> bool:
+        if default is None:
+            return False
+        if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(default, ast.Call):
+            name = default.func.id if isinstance(default.func, ast.Name) \
+                else getattr(default.func, "attr", "")
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        source, default,
+                        f"mutable default argument in {name}()",
+                    )
+
+
+class BareExcept(LintRule):
+    """REP102: ``except:`` catches SystemExit/KeyboardInterrupt too."""
+
+    rule_id = "REP102"
+    severity = "warning"
+    description = (
+        "a bare except swallows KeyboardInterrupt and SystemExit; catch "
+        "Exception (or something narrower) instead"
+    )
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    source, node, "bare except clause",
+                )
+
+
+class SwallowedAggregationError(LintRule):
+    """REP103: ``except AggregationError: pass`` hides pipeline bugs."""
+
+    rule_id = "REP103"
+    severity = "warning"
+    description = (
+        "an AggregationError caught and discarded hides malformed "
+        "pipelines; handle it, log it, or let it propagate"
+    )
+
+    @staticmethod
+    def _catches_aggregation_error(handler: ast.ExceptHandler) -> bool:
+        exc_types = []
+        if isinstance(handler.type, ast.Tuple):
+            exc_types = list(handler.type.elts)
+        elif handler.type is not None:
+            exc_types = [handler.type]
+        for exc_type in exc_types:
+            name = exc_type.id if isinstance(exc_type, ast.Name) else \
+                getattr(exc_type, "attr", None)
+            if name == "AggregationError":
+                return True
+        return False
+
+    @staticmethod
+    def _is_noop_body(body: list[ast.stmt]) -> bool:
+        for statement in body:
+            if isinstance(statement, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(statement, ast.Expr) and \
+                    isinstance(statement.value, ast.Constant):
+                continue  # docstring or `...`
+            return False
+        return True
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and \
+                    self._catches_aggregation_error(node) and \
+                    self._is_noop_body(node.body):
+                yield self.finding(
+                    source, node,
+                    "AggregationError caught and silently discarded",
+                )

@@ -69,6 +69,10 @@ class CovidKGConfig:
     classifier: str = "svm"
     classifier_epochs: int = 4
     seed: int = 0
+    #: Pre-flight validate every search pipeline before execution
+    #: (stage names, operators, ``$function`` resolution against the
+    #: system registry); see :mod:`repro.analysis.pipeline_check`.
+    validate_pipelines: bool = False
 
 
 class CovidKG:
@@ -100,6 +104,10 @@ class CovidKG:
             registry=self.functions,
             num_shards=self.config.search_shards,
         )
+        if self.config.validate_pipelines:
+            for engine in (self.all_fields, self.title_abstract,
+                           self.tables):
+                engine.validate_pipelines = True
         # Section 4: matching/fusion/review/enrichment.
         self.review_queue = ExpertReviewQueue()
         self.matcher = NodeMatcher(self.graph)

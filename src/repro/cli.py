@@ -10,6 +10,7 @@ Subcommands:
 * ``stats``       — system dashboard
 * ``bias``        — run the bias interrogation
 * ``serve-stats`` — drive queries through the serving tier, print metrics
+* ``analyze``     — run the repo's static analysis (concurrency lints)
 
 Example session::
 
@@ -136,6 +137,37 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the custom lint rules; fail only on non-baseline findings."""
+    from repro.analysis.lint import (
+        format_findings,
+        lint_paths,
+        load_baseline,
+        new_findings,
+        save_baseline,
+    )
+
+    findings = lint_paths(args.paths)
+    if args.update_baseline:
+        save_baseline(args.baseline, findings)
+        print(f"baseline updated: {len(findings)} finding(s) accepted "
+              f"in {args.baseline}")
+        return 0
+    fresh = new_findings(findings, load_baseline(args.baseline))
+    if args.format == "json":
+        print(format_findings(fresh, "json"))
+    else:
+        known = len(findings) - len(fresh)
+        if fresh:
+            print(format_findings(fresh))
+        if known:
+            print(f"({known} baseline finding(s) suppressed; regenerate "
+                  f"with --update-baseline)")
+        if not fresh:
+            print("analyze: clean")
+    return 1 if fresh else 0
+
+
 def _cmd_bias(args: argparse.Namespace) -> int:
     system = load_system(args.system)
     report = system.interrogate_bias(num_clusters=args.clusters)
@@ -204,6 +236,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_stats.add_argument("--workers", type=int, default=4)
     serve_stats.add_argument("query")
     serve_stats.set_defaults(func=_cmd_serve_stats)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the custom concurrency/hygiene lints "
+             "(exit 1 on findings not in the baseline)",
+    )
+    analyze.add_argument("--paths", nargs="+",
+                         default=["src/repro", "benchmarks"],
+                         help="files/directories to lint")
+    analyze.add_argument("--baseline", default="analysis-baseline.json",
+                         help="accepted-findings file (CI fails only on "
+                              "new findings)")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    analyze.add_argument("--update-baseline", action="store_true",
+                         help="accept the current findings as the new "
+                              "baseline")
+    analyze.set_defaults(func=_cmd_analyze)
     return parser
 
 

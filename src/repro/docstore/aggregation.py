@@ -42,6 +42,29 @@ from repro.errors import AggregationError
 
 _MISSING = object()
 
+#: Every stage name the pipeline engine implements (the validator in
+#: :mod:`repro.analysis.pipeline_check` checks against this same set, so
+#: the two can never drift apart).
+STAGE_NAMES = frozenset(
+    {"$match", "$project", "$addFields", "$function", "$sort", "$skip",
+     "$limit", "$count", "$unwind", "$group", "$lookup", "$facet",
+     "$sample", "$bucket", "$sortByCount", "$replaceRoot"}
+)
+
+#: Every expression operator :func:`_evaluate_operator` implements.
+EXPRESSION_OPERATORS = frozenset(
+    {"$literal", "$add", "$subtract", "$multiply", "$divide", "$concat",
+     "$size", "$toLower", "$toUpper", "$cond", "$ifNull", "$eq", "$ne",
+     "$gt", "$gte", "$lt", "$lte", "$in", "$arrayElemAt", "$filter",
+     "$map", "$minExpr", "$maxExpr", "$function"}
+)
+
+#: Every accumulator ``$group``/``$bucket`` outputs support.
+ACCUMULATORS = frozenset(
+    {"$sum", "$avg", "$min", "$max", "$push", "$addToSet", "$first",
+     "$last", "$count"}
+)
+
 
 class _Descending:
     """Inverts comparisons so a descending field fits an ascending key."""
@@ -308,11 +331,7 @@ def _eval_with_variable(expression: Any, document: dict[str, Any],
 class AggregationPipeline:
     """Compile-once, run-many pipeline over a collection or document list."""
 
-    _STAGE_NAMES = frozenset(
-        {"$match", "$project", "$addFields", "$function", "$sort", "$skip",
-         "$limit", "$count", "$unwind", "$group", "$lookup", "$facet",
-         "$sample", "$bucket", "$sortByCount", "$replaceRoot"}
-    )
+    _STAGE_NAMES = STAGE_NAMES
 
     def __init__(self, stages: list[dict[str, Any]],
                  registry: FunctionRegistry | None = None) -> None:
@@ -600,10 +619,7 @@ class AggregationPipeline:
             results.append(value)
         return results
 
-    _ACCUMULATORS = frozenset(
-        {"$sum", "$avg", "$min", "$max", "$push", "$addToSet", "$first",
-         "$last", "$count"}
-    )
+    _ACCUMULATORS = ACCUMULATORS
 
     def _stage_group(self, documents: list[dict[str, Any]],
                      spec: dict[str, Any]) -> list[dict[str, Any]]:

@@ -6,7 +6,7 @@ the MongoDB driver surface the paper's back end is written against.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any
 
 from repro.docstore.aggregation import (
     AggregationResult,

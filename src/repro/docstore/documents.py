@@ -10,9 +10,9 @@ from __future__ import annotations
 import copy
 import itertools
 import json
-import threading
 from typing import Any
 
+from repro.analysis import racecheck
 from repro.errors import DocumentError
 
 _MISSING = object()
@@ -27,7 +27,7 @@ class ObjectId:
     """
 
     _counter = itertools.count(1)
-    _lock = threading.Lock()
+    _lock = racecheck.make_lock("docstore.object_id")
 
     __slots__ = ("value",)
 

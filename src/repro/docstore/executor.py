@@ -32,6 +32,8 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Any, Callable, Sequence, TypeVar
 
+from repro.analysis import racecheck
+
 T = TypeVar("T")
 
 #: Environment variable overriding the fan-out width.
@@ -41,7 +43,7 @@ WIDTH_ENV = "REPRO_EXECUTOR_WIDTH"
 #: oversubscribing small machines.
 DEFAULT_WIDTH = max(2, min(16, os.cpu_count() or 4))
 
-_lock = threading.Lock()
+_lock = racecheck.make_lock("docstore.executor")
 _executor: ThreadPoolExecutor | None = None
 _executor_width = 0
 _local = threading.local()
@@ -82,13 +84,21 @@ def get_executor() -> ThreadPoolExecutor:
 
 
 def shutdown_executor() -> None:
-    """Tear down the shared pool (tests; safe to call when never built)."""
+    """Tear down the shared pool (tests; safe to call when never built).
+
+    The pool reference is swapped out under the lock but the blocking
+    ``shutdown(wait=True)`` happens *outside* it: a worker thread that
+    touches this module (e.g. a rebuilt :func:`get_executor`) must never
+    find the lock held by a shutdown that is waiting for that very
+    worker to finish.
+    """
     global _executor, _executor_width
     with _lock:
-        if _executor is not None:
-            _executor.shutdown(wait=True)
-            _executor = None
-            _executor_width = 0
+        doomed = _executor
+        _executor = None
+        _executor_width = 0
+    if doomed is not None:
+        doomed.shutdown(wait=True)
 
 
 # -- observability ---------------------------------------------------------
@@ -112,7 +122,9 @@ def _observed(task: Callable[[], T]) -> T:
         return task()
     finally:
         seconds = time.perf_counter() - started
-        for observer in list(_observers):
+        with _lock:
+            observers = tuple(_observers)
+        for observer in observers:
             try:
                 observer(seconds)
             except Exception:  # noqa: BLE001 - observers must not break reads
@@ -147,6 +159,8 @@ def scatter(tasks: Sequence[Callable[[], T]]) -> list[T]:
     run inline.  The first task exception propagates after all tasks
     have been dispatched.
     """
+    if len(tasks) > 1:
+        racecheck.note_fanout("scatter")
     if len(tasks) <= 1 or executor_width() == 1 or _in_fanout():
         return _run_serial(tasks)
     executor = get_executor()
@@ -163,6 +177,8 @@ def scatter_first(tasks: Sequence[Callable[[], T]],
     started task is cancelled.  The serial path short-circuits in task
     order.  Returns ``None`` when no result is accepted.
     """
+    if len(tasks) > 1:
+        racecheck.note_fanout("scatter_first")
     if len(tasks) <= 1 or executor_width() == 1 or _in_fanout():
         for task in tasks:
             result = _observed(task) if len(tasks) > 1 else task()

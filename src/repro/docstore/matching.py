@@ -19,7 +19,7 @@ from __future__ import annotations
 import re
 from typing import Any, Callable
 
-from repro.docstore.documents import deep_get, path_exists
+from repro.docstore.documents import deep_get
 from repro.errors import QueryError
 
 _MISSING = object()
@@ -31,6 +31,14 @@ _ALL_OPS = _COMPARISON_OPS | frozenset(
     {"$exists", "$type", "$size", "$regex", "$options", "$all",
      "$elemMatch", "$not", "$where"}
 )
+
+#: Logical connectives that take a list of sub-queries.
+LOGICAL_OPERATORS = frozenset({"$and", "$or", "$nor"})
+
+#: Every per-field query operator this module evaluates (public so the
+#: pre-flight validator in :mod:`repro.analysis.pipeline_check` stays in
+#: sync with the evaluator).
+QUERY_OPERATORS = frozenset(_ALL_OPS)
 
 _TYPE_NAMES: dict[str, type | tuple[type, ...]] = {
     "double": float,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from typing import Any, Iterable, Iterator
 
@@ -38,11 +39,19 @@ from repro.errors import ShardingError
 
 _MISSING = object()
 
+#: Environment variable enabling pre-flight pipeline validation by
+#: default (``aggregate(..., validate=...)`` overrides per call).
+VALIDATE_ENV = "REPRO_VALIDATE_PIPELINES"
+
 #: Stages operating on one document at a time — safe to push down to the
 #: shards and run concurrently (the scatter half of scatter-gather).
 _PER_DOCUMENT_STAGES = frozenset(
     {"$match", "$project", "$addFields", "$function"}
 )
+
+
+def _validate_by_default() -> bool:
+    return os.environ.get(VALIDATE_ENV, "") == "1"
 
 
 class HashSharder:
@@ -278,8 +287,8 @@ class ShardedCollection:
     # -- aggregation -----------------------------------------------------
 
     def aggregate(self, stages: list[dict[str, Any]],
-                  registry: FunctionRegistry | None = None
-                  ) -> AggregationResult:
+                  registry: FunctionRegistry | None = None,
+                  validate: bool | None = None) -> AggregationResult:
         """Run an aggregation pipeline with parallel shard fan-out.
 
         The leading run of per-document stages (``$match`` /
@@ -293,7 +302,17 @@ class ShardedCollection:
         byte-identical to the serial pipeline (stable-sort tie order
         included).  Any other remainder runs serially on the gathered
         partials.
+
+        ``validate=True`` (or ``REPRO_VALIDATE_PIPELINES=1``) runs the
+        pre-flight validator first, so a malformed pipeline raises
+        :class:`~repro.analysis.pipeline_check.PipelineValidationError`
+        *before* any shard fan-out instead of mid-scatter on whichever
+        shard happens to run first.
         """
+        if _validate_by_default() if validate is None else validate:
+            from repro.analysis.pipeline_check import ensure_valid_pipeline
+
+            ensure_valid_pipeline(stages, registry)
         pipeline = AggregationPipeline(stages, registry)
         if len(self.shards) == 1:
             return pipeline.run(self.shards[0])

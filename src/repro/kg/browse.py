@@ -10,7 +10,7 @@ and bookmarks — the exact state a UI keeps per user.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import GraphError

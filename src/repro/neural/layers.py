@@ -13,7 +13,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ModelError
-from repro.neural.activations import relu, relu_grad, sigmoid, sigmoid_grad, tanh, tanh_grad
+from repro.neural.activations import (
+    relu,
+    relu_grad,
+    sigmoid,
+    sigmoid_grad,
+    tanh,
+    tanh_grad,
+)
 from repro.neural.initializers import glorot_uniform
 
 

@@ -99,6 +99,11 @@ class SearchEngineBase:
     #: the bounded top-k selection.  Results are identical either way.
     full_sort: bool = False
 
+    #: Pre-flight validate the pipeline (stage names, operators,
+    #: ``$function`` resolution) before executing it.  Off by default;
+    #: the serving tier turns it on via ``ServeConfig.validate_pipelines``.
+    validate_pipelines: bool = False
+
     def __init__(self, registry: FunctionRegistry | None = None,
                  expander=None, num_shards: int = 1) -> None:
         self.collection: Collection | ShardedCollection
@@ -178,6 +183,15 @@ class SearchEngineBase:
         skip = (page - 1) * PAGE_SIZE
         top_k = page * PAGE_SIZE
         try:
+            if self.validate_pipelines:
+                from repro.analysis.pipeline_check import \
+                    ensure_valid_pipeline
+
+                ensure_valid_pipeline(
+                    prefix + [{"$sort": SORT_SPEC}, {"$skip": skip},
+                              {"$limit": PAGE_SIZE}],
+                    self.registry,
+                )
             if isinstance(self.collection, ShardedCollection):
                 paged, total = self._rank_sharded(prefix, skip)
             else:

@@ -26,12 +26,13 @@ correct and bounded:
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
+
+from repro.analysis import racecheck
 
 #: Cache key: (engine name, canonical parameter tuple).
 CacheKey = tuple[str, tuple[Any, ...]]
@@ -141,8 +142,17 @@ class ResultCache:
         self._negatives: OrderedDict[Hashable, _NegativeEntry] = \
             OrderedDict()
         self._inflight: dict[Hashable, Flight] = {}
-        self._lock = threading.Lock()
+        self._lock = racecheck.make_lock("serve.cache")
         self.stats = CacheStats()
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """A consistent copy of the counters, taken under the lock.
+
+        ``self.stats`` is mutated under ``self._lock``; readers must not
+        fold the live object into a response while writers are mid-update.
+        """
+        with self._lock:
+            return self.stats.as_dict()
 
     def get(self, key: CacheKey,
             versions: VersionSnapshot) -> tuple[bool, Any]:

@@ -8,9 +8,10 @@ requests the service has handled.
 
 from __future__ import annotations
 
-import threading
 from collections import Counter
 from typing import Any
+
+from repro.analysis import racecheck
 
 #: Percentiles ``snapshot()`` reports, as (label, fraction).
 REPORTED_PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
@@ -34,7 +35,7 @@ class LatencyHistogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
-        self._lock = threading.Lock()
+        self._lock = racecheck.make_lock("serve.metrics.histogram")
 
     def observe(self, seconds: float) -> None:
         with self._lock:
@@ -68,16 +69,27 @@ class LatencyHistogram:
             return self.total / self.count
 
     def snapshot(self) -> dict[str, Any]:
-        """Counts and millisecond latency figures for dashboards."""
-        result: dict[str, Any] = {"count": self.count}
-        mean = self.mean
-        result["mean_ms"] = None if mean is None else mean * 1000.0
+        """Counts and millisecond latency figures for dashboards.
+
+        All fields are read under one lock acquisition, so the snapshot
+        is internally consistent — a concurrent ``observe`` can never
+        produce a count that disagrees with the mean or max.
+        """
+        with self._lock:
+            count = self.count
+            total = self.total
+            maximum = self.max
+            ordered = sorted(self._samples)
+        result: dict[str, Any] = {"count": count}
+        result["mean_ms"] = (total / count) * 1000.0 if count else None
         for label, fraction in REPORTED_PERCENTILES:
-            value = self.percentile(fraction)
-            result[f"{label}_ms"] = (
-                None if value is None else value * 1000.0
-            )
-        result["max_ms"] = None if self.max is None else self.max * 1000.0
+            if ordered:
+                rank = min(len(ordered) - 1,
+                           max(0, round(fraction * (len(ordered) - 1))))
+                result[f"{label}_ms"] = ordered[rank] * 1000.0
+            else:
+                result[f"{label}_ms"] = None
+        result["max_ms"] = None if maximum is None else maximum * 1000.0
         return result
 
 
@@ -85,7 +97,7 @@ class ServiceMetrics:
     """All counters/histograms for one :class:`QueryService`."""
 
     def __init__(self, histogram_capacity: int = 2048) -> None:
-        self._lock = threading.Lock()
+        self._lock = racecheck.make_lock("serve.metrics.service")
         self._histogram_capacity = histogram_capacity
         self.requests: Counter[str] = Counter()
         self.errors: Counter[str] = Counter()
@@ -151,15 +163,20 @@ class ServiceMetrics:
             requests = dict(self.requests)
             errors = dict(self.errors)
             engines = dict(self._per_engine)
+            shed = self.shed
+            deadline_exceeded = self.deadline_exceeded
+            retries = self.retries
+            collapsed_misses = self.collapsed_misses
+            negative_hits = self.negative_hits
         return {
             "requests": requests,
             "total_requests": sum(requests.values()),
             "errors": errors,
-            "shed": self.shed,
-            "deadline_exceeded": self.deadline_exceeded,
-            "retries": self.retries,
-            "collapsed_misses": self.collapsed_misses,
-            "negative_hits": self.negative_hits,
+            "shed": shed,
+            "deadline_exceeded": deadline_exceeded,
+            "retries": retries,
+            "collapsed_misses": collapsed_misses,
+            "negative_hits": negative_hits,
             "latency": {
                 "overall": self.overall.snapshot(),
                 "shard_fanout": self.shard_fanout.snapshot(),

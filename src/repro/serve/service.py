@@ -70,6 +70,9 @@ class ServeConfig:
     retries: int = 2
     retry_backoff_seconds: float = 0.05
     histogram_capacity: int = 2048
+    #: Pre-flight validate every engine's pipeline before shard fan-out
+    #: (cheap — O(pipeline size); rejects malformed requests up front).
+    validate_pipelines: bool = False
 
 
 @dataclass
@@ -122,6 +125,10 @@ class QueryService:
         )
         self._data_lock = ReadWriteLock()
         self._closed = False
+        if self.config.validate_pipelines:
+            for engine in (system.all_fields, system.title_abstract,
+                           system.tables):
+                engine.validate_pipelines = True
         self._dispatch: dict[str, Callable[..., Any]] = {
             "all_fields": self._run_all_fields,
             "title_abstract": self._run_title_abstract,
@@ -270,7 +277,7 @@ class QueryService:
         """Request, cache, and latency statistics for dashboards/CLI."""
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = {
-            **self.cache.stats.as_dict(),
+            **self.cache.stats_snapshot(),
             "entries": len(self.cache),
             "max_entries": self.cache.max_entries,
             "ttl_seconds": self.cache.ttl_seconds,

@@ -1,0 +1,34 @@
+"""Shared fixtures: the racecheck session gate.
+
+Running the suite with ``REPRO_RACECHECK=1`` turns every lock created by
+the serve/docstore modules into an instrumented wrapper; this hook makes
+the whole suite double as a race test — at session end the accumulated
+lock-order graph must contain no deadlock cycles and no held-across-
+fan-out violations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import racecheck
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _racecheck_gate():
+    """Assert a clean lock-order report when racechecking is enabled."""
+    enabled_for_suite = os.environ.get(racecheck.ENV_FLAG, "") == "1"
+    if enabled_for_suite:
+        racecheck.reset()
+    yield
+    if not enabled_for_suite:
+        return
+    report = racecheck.report()
+    # Unit tests deliberately manufacture cycles/violations and reset()
+    # afterwards; anything still recorded here leaked from real code.
+    assert report.clean, (
+        "racecheck found concurrency hazards in the production locks:\n"
+        + report.summary()
+    )

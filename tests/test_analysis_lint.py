@@ -1,0 +1,266 @@
+"""The custom lint framework: rules, suppression, baselines.
+
+Each fixture is a minimal module designed to trigger exactly one rule
+exactly once; the corpus doubles as living documentation of what the
+rules mean.  The final test runs the real linter over the real repo and
+compares against the checked-in baseline — the same gate CI applies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Finding,
+    Source,
+    format_findings,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    new_findings,
+    save_baseline,
+)
+from repro.analysis.rules import default_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: rule id -> fixture module expected to trigger it exactly once.
+FIXTURES = {
+    "REP101": """
+def fetch(cache={}):
+    return cache
+""",
+    "REP102": """
+def swallow(fn):
+    try:
+        return fn()
+    except:
+        return None
+""",
+    "REP103": """
+from repro.errors import AggregationError
+
+
+def quiet(fn):
+    try:
+        return fn()
+    except AggregationError:
+        pass
+""",
+    "REP201": """
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def read(self):
+        return self.total
+""",
+    "REP202": """
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+def slow():
+    with _lock:
+        time.sleep(0.1)
+""",
+    "REP203": """
+from repro.docstore.executor import scatter
+
+
+def fan(items):
+    return scatter([
+        lambda item=item: scatter([lambda: item])
+        for item in items
+    ])
+""",
+    "REP204": """
+import random
+
+from repro.docstore.functions import FunctionRegistry
+
+registry = FunctionRegistry()
+
+
+def rank(doc):
+    return random.random()
+
+
+registry.register("rank", rank)
+""",
+}
+
+CLEAN_FIXTURE = """
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def read(self):
+        with self._lock:
+            return self.total
+"""
+
+
+def _lint_text(text: str) -> list[Finding]:
+    return lint_source(Source("fixture.py", text), default_rules())
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_each_rule_fires_exactly_once_on_its_fixture(rule_id):
+    findings = _lint_text(FIXTURES[rule_id])
+    assert [f.rule for f in findings] == [rule_id], (
+        f"expected exactly one {rule_id} finding, got: "
+        f"{[str(f) for f in findings]}"
+    )
+
+
+def test_clean_fixture_produces_no_findings():
+    assert _lint_text(CLEAN_FIXTURE) == []
+
+
+def test_findings_carry_location_and_snippet():
+    (finding,) = _lint_text(FIXTURES["REP101"])
+    assert finding.path == "fixture.py"
+    assert finding.line == 2
+    assert finding.severity == "warning"
+    assert "cache={}" in finding.snippet
+    assert str(finding).startswith("fixture.py:2: REP101 [warning]")
+
+
+# -- suppression -----------------------------------------------------------
+
+def test_same_line_suppression():
+    text = FIXTURES["REP101"].replace(
+        "def fetch(cache={}):", "def fetch(cache={}):  # lint: allow=REP101"
+    )
+    assert _lint_text(text) == []
+
+
+def test_line_above_suppression():
+    text = FIXTURES["REP101"].replace(
+        "def fetch(cache={}):",
+        "# lint: allow=REP101\ndef fetch(cache={}):",
+    )
+    assert _lint_text(text) == []
+
+
+def test_allow_all_suppression():
+    text = FIXTURES["REP102"].replace(
+        "    except:", "    except:  # lint: allow=all"
+    )
+    assert _lint_text(text) == []
+
+
+def test_suppressing_a_different_rule_does_not_hide_the_finding():
+    text = FIXTURES["REP101"].replace(
+        "def fetch(cache={}):", "def fetch(cache={}):  # lint: allow=REP102"
+    )
+    assert [f.rule for f in _lint_text(text)] == ["REP101"]
+
+
+# -- file discovery and syntax errors --------------------------------------
+
+def test_lint_paths_walks_directories_and_reports_syntax_errors(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "bad.py").write_text("def broken(:\n")
+    (tmp_path / "pkg" / "warm.py").write_text(FIXTURES["REP101"])
+    findings = lint_paths([tmp_path], root=tmp_path)
+    assert [(f.rule, f.path) for f in findings] == [
+        ("REP000", "pkg/bad.py"),
+        ("REP101", "pkg/warm.py"),
+    ]
+
+
+# -- baselines -------------------------------------------------------------
+
+def test_baseline_roundtrip_suppresses_known_findings(tmp_path):
+    findings = _lint_text(FIXTURES["REP101"])
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, findings)
+    assert new_findings(findings, load_baseline(baseline_path)) == []
+
+
+def test_new_findings_only_reports_what_the_baseline_lacks(tmp_path):
+    old = _lint_text(FIXTURES["REP101"])
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, old)
+    fresh = _lint_text(FIXTURES["REP102"])
+    result = new_findings(old + fresh, load_baseline(baseline_path))
+    assert [f.rule for f in result] == ["REP102"]
+
+
+def test_baseline_matching_survives_line_drift(tmp_path):
+    findings = _lint_text(FIXTURES["REP101"])
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, findings)
+    # The same offending line, pushed down by an unrelated edit.
+    drifted = _lint_text("\n\n# a new comment\n" + FIXTURES["REP101"])
+    assert drifted[0].line != findings[0].line
+    assert new_findings(drifted, load_baseline(baseline_path)) == []
+
+
+def test_baseline_uses_multiset_semantics():
+    findings = _lint_text(FIXTURES["REP101"])
+    baseline = load_baseline("/nonexistent")
+    baseline.update([findings[0].key()])
+    # Two identical findings, one baseline entry: one is still new.
+    assert len(new_findings(findings * 2, baseline)) == 1
+
+
+def test_missing_baseline_means_everything_is_new(tmp_path):
+    findings = _lint_text(FIXTURES["REP101"])
+    assert new_findings(
+        findings, load_baseline(tmp_path / "absent.json")
+    ) == findings
+
+
+# -- output formats --------------------------------------------------------
+
+def test_text_format_includes_summary_line():
+    rendered = format_findings(_lint_text(FIXTURES["REP101"]))
+    assert "1 finding(s): 0 error(s), 1 warning(s)" in rendered
+
+
+def test_json_format_is_parseable():
+    import json
+
+    rendered = format_findings(_lint_text(FIXTURES["REP102"]), "json")
+    payload = json.loads(rendered)
+    assert payload[0]["rule"] == "REP102"
+
+
+# -- the real repo ---------------------------------------------------------
+
+def test_repo_is_clean_against_checked_in_baseline():
+    """The CI gate: no findings beyond the checked-in baseline."""
+    findings = lint_paths(
+        [REPO_ROOT / "src" / "repro", REPO_ROOT / "benchmarks"],
+        root=REPO_ROOT,
+    )
+    baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    fresh = new_findings(findings, baseline)
+    assert fresh == [], (
+        "new lint findings (fix them or run "
+        "`repro-covidkg analyze --update-baseline`):\n"
+        + "\n".join(str(f) for f in fresh)
+    )
