@@ -1,0 +1,264 @@
+"""E17 — adaptive load control: bounded tail latency under overload.
+
+The serving tier's failure mode under mixed load is head-of-line
+blocking: one expensive request fans 96 per-shard tasks across the
+whole shared executor, every cheap request queues behind it, the
+admission queue fills, and the tier sheds work it could have served.
+PR 4 adds an AIMD width controller that watches per-shard fan-out
+latency and queue occupancy and narrows the per-request
+:class:`FanoutBudget` under pressure.
+
+This experiment drives the same synthetic overload (a cheap query
+stream with a periodic heavy fan-out) through a fixed-width tier and
+an adaptive one, and measures:
+
+* cheap-request p95 vs. an unloaded baseline (the bound: <= 2x);
+* requests shed by each tier (adaptive must shed fewer);
+* the controller's own counters (width changes, budget clamps).
+
+A second test prices real search pipelines through the cost gate
+(``ServeConfig.max_request_cost``) and shows the ``cost_rejected``
+counter. Emits ``BENCH_e17_load_control.json``.
+
+The per-shard tasks are ``time.sleep`` calls, so the executor slots —
+not the GIL — are the contended resource, which is the regime the
+controller is designed for (I/O-bound shard reads).
+"""
+
+import json
+import os
+import time
+from concurrent.futures import wait
+
+import pytest
+from benchlib import print_table
+
+from repro.analysis.pipeline_check import estimate_pipeline_cost
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.docstore.executor import WIDTH_ENV, scatter, shutdown_executor
+from repro.errors import RequestTooExpensiveError, ServiceOverloadedError
+from repro.serve.loadctl import LoadControlConfig
+from repro.serve.service import QueryService, ServeConfig
+
+#: Synthetic overload shape (see module docstring).
+DRIVE_SECONDS = float(os.environ.get("E17_SECONDS", "4.0"))
+INTERVAL_SECONDS = float(os.environ.get("E17_INTERVAL", "0.006"))
+HEAVY_EVERY = int(os.environ.get("E17_HEAVY_EVERY", "40"))
+CHEAP_TASKS = int(os.environ.get("E17_CHEAP_TASKS", "4"))
+HEAVY_TASKS = int(os.environ.get("E17_HEAVY_TASKS", "96"))
+CHEAP_TASK_SECONDS = 0.002
+HEAVY_TASK_SECONDS = 0.008
+EXECUTOR_WIDTH = 8
+
+RESULTS = {
+    "experiment": "e17_load_control",
+    "drive_seconds": DRIVE_SECONDS,
+    "interval_seconds": INTERVAL_SECONDS,
+    "heavy_every": HEAVY_EVERY,
+    "cheap_tasks": CHEAP_TASKS,
+    "heavy_tasks": HEAVY_TASKS,
+    "executor_width": EXECUTOR_WIDTH,
+    "scenarios": {},
+    "cost_gate": {},
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_json():
+    yield
+    RESULTS["written_at"] = time.time()
+    path = os.path.join(os.environ.get("BENCH_DIR", "."),
+                        "BENCH_e17_load_control.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(RESULTS, handle, indent=2)
+    print(f"\nwrote {path}")
+
+
+@pytest.fixture(autouse=True)
+def _pinned_executor(monkeypatch):
+    monkeypatch.setenv(WIDTH_ENV, str(EXECUTOR_WIDTH))
+    shutdown_executor()
+    yield
+    shutdown_executor()
+
+
+@pytest.fixture(scope="module")
+def system():
+    papers = CorpusGenerator(GeneratorConfig(
+        seed=117, papers_per_week=15, tables_per_paper=(0, 1),
+    )).papers(24)
+    kg = CovidKG(CovidKGConfig(num_shards=2))
+    kg.ingest(papers)
+    return kg
+
+
+def _cheap_task():
+    time.sleep(CHEAP_TASK_SECONDS)
+    return 1
+
+
+def _heavy_task():
+    time.sleep(HEAVY_TASK_SECONDS)
+    return 1
+
+
+def _synthetic_dispatch(query, page=1):
+    if query.startswith("heavy"):
+        return sum(scatter([_heavy_task] * HEAVY_TASKS))
+    return sum(scatter([_cheap_task] * CHEAP_TASKS))
+
+
+def _make_service(system, adaptive):
+    control = None
+    if adaptive:
+        control = LoadControlConfig(
+            floor=CHEAP_TASKS,       # cheap requests never get clamped
+            ceiling=EXECUTOR_WIDTH,
+            target_p95_seconds=0.004,
+            cooldown_seconds=0.05,
+        )
+    service = QueryService(system, ServeConfig(
+        num_workers=4, max_queue=8, load_control=control,
+    ))
+    service._dispatch["all_fields"] = _synthetic_dispatch
+    return service
+
+
+def _percentile(values, fraction):
+    if not values:
+        return None
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1,
+                       int(round(fraction * (len(ordered) - 1))))]
+
+
+def _drive(service):
+    """Open-loop overload: fixed arrival rate, every Nth request heavy."""
+    submitted = []
+    sheds = 0
+    index = 0
+    deadline = time.monotonic() + DRIVE_SECONDS
+    while time.monotonic() < deadline:
+        kind = "heavy" if index % HEAVY_EVERY == HEAVY_EVERY - 1 \
+            else "cheap"
+        try:
+            future = service.submit("all_fields",
+                                    query=f"{kind} {index}")
+        except ServiceOverloadedError:
+            sheds += 1
+        else:
+            submitted.append((kind, future))
+        index += 1
+        time.sleep(INTERVAL_SECONDS)
+    wait([future for _, future in submitted])  # quiesce before reading
+    latencies = {"cheap": [], "heavy": []}
+    for kind, future in submitted:
+        if future.exception() is None:
+            latencies[kind].append(future.result().seconds)
+    return {
+        "offered": index,
+        "sheds": sheds,
+        "cheap_served": len(latencies["cheap"]),
+        "heavy_served": len(latencies["heavy"]),
+        "cheap_p95_s": _percentile(latencies["cheap"], 0.95),
+        "heavy_p95_s": _percentile(latencies["heavy"], 0.95),
+    }
+
+
+def _unloaded_baseline(system):
+    """Sequential cheap requests: the tier's no-contention latency."""
+    with _make_service(system, adaptive=True) as service:
+        latencies = [
+            service.query("all_fields", query=f"cheap warm {i}").seconds
+            for i in range(30)
+        ]
+    shutdown_executor()
+    return _percentile(latencies, 0.95)
+
+
+def test_e17_adaptive_vs_fixed_width_under_overload(system):
+    unloaded_p95 = _unloaded_baseline(system)
+
+    with _make_service(system, adaptive=False) as service:
+        fixed = _drive(service)
+    shutdown_executor()
+
+    with _make_service(system, adaptive=True) as service:
+        adaptive = _drive(service)
+        control = service.stats()["load_control"]
+    shutdown_executor()
+
+    RESULTS["scenarios"] = {
+        "unloaded_cheap_p95_s": unloaded_p95,
+        "fixed": fixed,
+        "adaptive": {**adaptive, "control": control},
+    }
+
+    def row(label, outcome):
+        return [
+            label, outcome["offered"], outcome["sheds"],
+            f"{outcome['cheap_p95_s'] * 1e3:.2f}",
+            f"{outcome['heavy_p95_s'] * 1e3:.1f}"
+            if outcome["heavy_p95_s"] is not None else "-",
+        ]
+
+    print_table(
+        "E17: overload, fixed-width vs adaptive load control",
+        ["tier", "offered", "shed", "cheap p95 ms", "heavy p95 ms"],
+        [
+            ["unloaded", 30, 0, f"{unloaded_p95 * 1e3:.2f}", "-"],
+            row("fixed", fixed),
+            row("adaptive", adaptive),
+        ],
+        note=f"width {control['width']}/{control['ceiling']}, "
+             f"{control['width_changes']} width change(s), "
+             f"{control['budget_clamps']} budget clamp(s), "
+             f"{control['shed_shrinks']} shed-forced shrink(s)",
+    )
+
+    # The headline claims, in acceptance-criteria order: bounded cheap
+    # tail under the same overload, fewer sheds than fixed width, and a
+    # controller that actually acted.
+    assert fixed["sheds"] > 0, "overload too weak: fixed tier never shed"
+    assert adaptive["sheds"] < fixed["sheds"]
+    assert adaptive["cheap_p95_s"] <= 2.0 * unloaded_p95, (
+        f"adaptive cheap p95 {adaptive['cheap_p95_s'] * 1e3:.2f}ms vs "
+        f"unloaded {unloaded_p95 * 1e3:.2f}ms"
+    )
+    assert control["width_changes"] >= 1
+    assert control["budget_clamps"] >= 1
+
+
+def test_e17_cost_gate_rejects_before_fanout(system):
+    engine = system.all_fields
+    estimate = estimate_pipeline_cost(
+        engine.pipeline_plan(page=1), engine.shard_document_counts()
+    )
+
+    rejected = 0
+    with QueryService(system,
+                      ServeConfig(max_request_cost=1.0)) as service:
+        for index in range(8):
+            with pytest.raises(RequestTooExpensiveError):
+                service.query("all_fields", query=f"priced {index}")
+            rejected += 1
+        stats = service.stats()
+
+    print_table(
+        "E17: pre-admission cost gate",
+        ["all_fields est. cost", "budget", "requests", "cost_rejected"],
+        [[f"{estimate.total_cost:.0f}", "1", rejected,
+          stats["cost_rejected"]]],
+        note="over-budget requests are rejected before any shard "
+             "fan-out and the rejection is negative-cached",
+    )
+    RESULTS["cost_gate"] = {
+        "all_fields_estimated_cost": estimate.total_cost,
+        "budget": 1.0,
+        "requests": rejected,
+        "cost_rejected": stats["cost_rejected"],
+        "negative_hits": stats["negative_hits"],
+    }
+    assert stats["cost_rejected"] >= 1
+    assert stats["cost_rejected"] + stats["negative_hits"] == rejected

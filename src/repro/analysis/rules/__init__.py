@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.analysis.lint import LintRule
 from repro.analysis.rules.concurrency import (
+    AbandonedFutureGather,
     BlockingCallUnderLock,
     NestedFanOut,
     NondeterministicRankFunction,
@@ -26,6 +27,7 @@ __all__ = [
     "BlockingCallUnderLock",
     "NestedFanOut",
     "NondeterministicRankFunction",
+    "AbandonedFutureGather",
     "MutableDefaultArg",
     "BareExcept",
     "SwallowedAggregationError",
@@ -42,5 +44,6 @@ def default_rules() -> list[LintRule]:
         BlockingCallUnderLock(),
         NestedFanOut(),
         NondeterministicRankFunction(),
+        AbandonedFutureGather(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

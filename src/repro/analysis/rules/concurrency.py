@@ -468,6 +468,93 @@ class NestedFanOut(LintRule):
                 )
 
 
+class AbandonedFutureGather(LintRule):
+    """REP205: a ``future.result()`` loop that can abandon siblings."""
+
+    rule_id = "REP205"
+    severity = "error"
+    description = (
+        "a loop (or comprehension) calling .result() on each future "
+        "in turn stops consuming at the first exception, abandoning "
+        "the sibling futures still running (in-flight work keeps "
+        "mutating after the caller saw the error); call wait() on the "
+        "whole set, or iterate as_completed(), before raising"
+    )
+
+    #: A call to either of these anywhere in the enclosing scope means
+    #: the author quiesced (or consumed completions in completion
+    #: order), which is exactly the fix for this bug class.
+    _BARRIER_CALLS = frozenset({"wait", "as_completed"})
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        yield from self._visit(
+            source, source.tree, self._scope_has_barrier(source.tree)
+        )
+
+    def _visit(self, source: Source, node: ast.AST,
+               barrier: bool) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_barrier = barrier
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                # A barrier in an *enclosing* scope counts too: a helper
+                # may loop over futures its caller already waited on.
+                child_barrier = barrier or self._scope_has_barrier(child)
+            if not child_barrier:
+                yield from self._check_node(source, child)
+            yield from self._visit(source, child, child_barrier)
+
+    def _check_node(self, source: Source,
+                    node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+            yield from self._result_calls(
+                source, node.body, node.target.id
+            )
+        elif isinstance(node, (ast.ListComp, ast.SetComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                if isinstance(generator.target, ast.Name):
+                    yield from self._result_calls(
+                        source, [node.elt], generator.target.id
+                    )
+
+    def _result_calls(self, source: Source, body: list[ast.AST],
+                      variable: str) -> Iterator[Finding]:
+        for statement in body:
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute) and \
+                        node.func.attr == "result" and \
+                        isinstance(node.func.value, ast.Name) and \
+                        node.func.value.id == variable:
+                    yield self.finding(
+                        source, node,
+                        f"{variable}.result() consumed in submission "
+                        "order with no wait()/as_completed() barrier; "
+                        "an early exception abandons the futures still "
+                        "running",
+                    )
+
+    def _scope_has_barrier(self, scope: ast.AST) -> bool:
+        """A barrier call in ``scope``, not counting nested functions.
+
+        A ``wait()`` inside a nested helper does not quiesce the
+        enclosing scope's futures, so only this scope's own statements
+        count; enclosing-scope barriers are inherited in ``_visit``.
+        """
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call) and \
+                    _terminal_name(node.func) in self._BARRIER_CALLS:
+                return True
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+
 class NondeterministicRankFunction(LintRule):
     """REP204: clock/RNG use in a registered ``$function`` callable."""
 

@@ -295,7 +295,10 @@ class CovidKG:
 
         Returns a :class:`~repro.serve.service.QueryService` with result
         caching, bounded admission, and request metrics — the layer the
-        covidkg.org front end would talk to.
+        covidkg.org front end would talk to.  Pass a
+        :class:`~repro.serve.service.ServeConfig` with ``load_control``
+        and/or ``max_request_cost`` set to enable adaptive fan-out
+        budgets and pre-admission cost pricing.
         """
         from repro.serve.service import QueryService  # noqa: PLC0415
 
@@ -373,11 +376,14 @@ class CovidKG:
 
     def statistics(self) -> dict[str, Any]:
         """One-call system dashboard."""
+        from repro.docstore.executor import executor_width  # noqa: PLC0415
+
         return {
             "publications": len(self.store),
             "kg": self.graph.statistics(),
             "storage_bytes": self.storage().total_bytes,
             "shard_sizes": self.store.shard_sizes(),
+            "executor_width": executor_width(),
             "pending_reviews": len(self.review_queue.pending()),
             "registered_models": len(self.registry),
         }

@@ -111,10 +111,17 @@ def _flatten_stats(stats: dict, prefix: str = "") -> list[tuple[str, object]]:
 
 
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
+    from concurrent.futures import wait
+
+    from repro.serve.loadctl import LoadControlConfig
     from repro.serve.service import QueryService, ServeConfig
 
     system = load_system(args.system)
-    config = ServeConfig(num_workers=args.workers)
+    config = ServeConfig(
+        num_workers=args.workers,
+        max_request_cost=args.max_cost,
+        load_control=LoadControlConfig() if args.adaptive else None,
+    )
     with QueryService(system, config) as service:
         # Warm the cache once so the concurrent burst below exercises
         # hits; firing all requests cold would just stampede misses.
@@ -123,6 +130,7 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
             service.submit("all_fields", query=args.query, page=1)
             for _ in range(args.requests)
         ]
+        wait(futures)  # quiesce: settle every request before reporting
         for future in futures:
             future.result()
         served = service.query("all_fields", query=args.query, page=1)
@@ -234,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_stats.add_argument("--requests", type=int, default=50,
                              help="number of requests to issue")
     serve_stats.add_argument("--workers", type=int, default=4)
+    serve_stats.add_argument("--adaptive", action="store_true",
+                             help="enable the adaptive load controller "
+                                  "(fan-out budgets, AIMD width)")
+    serve_stats.add_argument("--max-cost", type=float, default=None,
+                             help="reject requests whose estimated "
+                                  "pipeline cost exceeds this budget")
     serve_stats.add_argument("query")
     serve_stats.set_defaults(func=_cmd_serve_stats)
 

@@ -82,3 +82,11 @@ class DeadlineExceededError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """The service has been shut down and accepts no new requests."""
+
+
+class RequestTooExpensiveError(ServiceError):
+    """A request's estimated pipeline cost exceeds the configured budget.
+
+    Raised *before* the request touches the scatter path, so pricing a
+    request never costs more than estimating it.
+    """

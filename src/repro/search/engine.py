@@ -151,6 +151,33 @@ class SearchEngineBase:
     def num_documents(self) -> int:
         return self._indexed
 
+    # -- cost estimation ----------------------------------------------------
+
+    def pipeline_plan(self, page: int = 1) -> list[dict[str, Any]]:
+        """The canonical pipeline shape one search at ``page`` executes.
+
+        For admission-control pricing
+        (:func:`repro.analysis.pipeline_check.estimate_pipeline_cost`):
+        the ``$match`` spec is elided because worst-case pricing assumes
+        the filter passes everything anyway, and the ``$function`` name
+        is symbolic — scorers are registered per invocation.
+        """
+        skip = (max(1, page) - 1) * PAGE_SIZE
+        return [
+            {"$match": {}},
+            {"$project": {name: 1 for name in PROJECTED_FIELDS}},
+            {"$function": {"name": "rank", "as": "score"}},
+            {"$sort": dict(SORT_SPEC)},
+            {"$skip": skip},
+            {"$limit": PAGE_SIZE},
+        ]
+
+    def shard_document_counts(self) -> list[int]:
+        """Per-shard indexed document counts (cost-estimation input)."""
+        if isinstance(self.collection, ShardedCollection):
+            return self.collection.shard_sizes()
+        return [len(self.collection)]
+
     # -- evaluation -------------------------------------------------------------
 
     def _run_pipeline(self, parsed: ParsedQuery,

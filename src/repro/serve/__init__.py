@@ -16,6 +16,7 @@ from repro.serve.cache import (
     canonical_text,
     request_key,
 )
+from repro.serve.loadctl import LoadControlConfig, LoadController
 from repro.serve.metrics import LatencyHistogram, ServiceMetrics
 from repro.serve.service import (
     ENGINES,
@@ -29,6 +30,8 @@ __all__ = [
     "CacheStats",
     "Flight",
     "LatencyHistogram",
+    "LoadControlConfig",
+    "LoadController",
     "QueryService",
     "ReadWriteLock",
     "ResultCache",

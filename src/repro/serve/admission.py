@@ -161,19 +161,27 @@ class WorkerPool:
 
     def submit(self, fn: Callable[[], Any],
                deadline: float | None = None) -> Future:
-        """Queue ``fn``; shed immediately when the queue is full."""
+        """Queue ``fn``; shed immediately when the queue is full.
+
+        The closed-check and the enqueue happen under one lock:
+        :meth:`shutdown` flips ``_closed`` under the same lock before it
+        enqueues the shutdown sentinels, so any task this method admits
+        is queued *ahead* of the sentinels and is guaranteed to be run
+        (or failed by the shutdown drain) — a future returned here can
+        never languish unsettled.
+        """
+        future: Future = Future()
+        task = _Task(fn, future, deadline)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("worker pool is shut down")
-        future: Future = Future()
-        task = _Task(fn, future, deadline)
-        try:
-            self._queue.put_nowait(task)
-        except Full:
-            raise ServiceOverloadedError(
-                f"admission queue full ({self.max_queue} pending); "
-                "request shed"
-            ) from None
+            try:
+                self._queue.put_nowait(task)
+            except Full:
+                raise ServiceOverloadedError(
+                    f"admission queue full ({self.max_queue} pending); "
+                    "request shed"
+                ) from None
         return future
 
     @property
@@ -222,7 +230,8 @@ class WorkerPool:
         if wait:
             for thread in self._threads:
                 thread.join()
-            # Fail any tasks admitted after the sentinels drained.
+            # Defensive: submit() enqueues under the lock ahead of the
+            # sentinels, so nothing should be left; fail it if it is.
             while True:
                 try:
                     item = self._queue.get_nowait()

@@ -1,0 +1,211 @@
+"""Adaptive load control for the serving tier.
+
+The paper's router fans every search out to all shards and must stay
+responsive while "millions of users" interrogate the KG — which means
+bounded tail latency *under load*, not just at steady state.  A fixed
+fan-out width plus a fixed admission queue degrades in the worst way:
+when shard latency rises, wide fan-outs pile more work onto the slow
+pool, the queue fills, and the tier sheds requests it could have served
+narrower.
+
+:class:`LoadController` closes that loop.  It watches two signals the
+tier already produces:
+
+* the **per-shard fan-out latency** stream from the docstore executor's
+  observer hook (an EWMA of the windowed p95), and
+* the **admission queue occupancy** (pending / capacity);
+
+and adjusts the *effective fan-out width* — the per-request
+:class:`~repro.docstore.executor.FanoutBudget` every execution runs
+under — between a configurable floor and ceiling, AIMD style
+(multiplicative shrink under pressure, additive growth when calm).  A
+shed request forces an immediate shrink; only a tier already at the
+floor keeps shedding.  Every decision is counted and exposed through
+``QueryService.stats()`` / ``repro-covidkg serve-stats``.
+
+The controller never touches the shared executor pool itself — pool
+threads are cheap to keep, requests that monopolize them are not — so
+shrinking is instant (the next budget is smaller) and growing never has
+to warm anything up.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.analysis import racecheck
+from repro.docstore.executor import FanoutBudget, executor_width
+
+
+@dataclass
+class LoadControlConfig:
+    """Knobs for :class:`LoadController` (defaults sized for a laptop).
+
+    ``ceiling=None`` resolves to the executor width at service start —
+    there is no point budgeting a request wider than the shared pool.
+    """
+
+    #: Narrowest per-request fan-out; the tier sheds only at the floor.
+    floor: int = 1
+    #: Widest per-request fan-out (``None`` → executor width).
+    ceiling: int | None = None
+    #: Per-shard task p95 (EWMA) above which the tier is "hot".
+    target_p95_seconds: float = 0.050
+    #: Smoothing for the p95 EWMA (higher = reacts faster).
+    ewma_alpha: float = 0.3
+    #: Queue occupancy at or above which the tier is "hot".
+    queue_high_fraction: float = 0.5
+    #: Queue occupancy at or below which the tier may grow.
+    queue_low_fraction: float = 0.125
+    #: Minimum seconds between width changes (damps oscillation).
+    cooldown_seconds: float = 0.25
+    #: Fan-out latency samples per p95 window.
+    window: int = 64
+
+
+class LoadController:
+    """AIMD width controller over fan-out latency + queue occupancy.
+
+    Thread-safe; ``clock`` is injectable so tests can drive the
+    cooldown deterministically.
+    """
+
+    def __init__(self, config: LoadControlConfig | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or LoadControlConfig()
+        if self.config.floor < 1:
+            raise ValueError("load-control floor must be >= 1")
+        self.floor = self.config.floor
+        ceiling = (self.config.ceiling if self.config.ceiling is not None
+                   else executor_width())
+        self.ceiling = max(self.floor, ceiling)
+        self._clock = clock
+        self._lock = racecheck.make_lock("serve.loadctl")
+        self._width = self.ceiling
+        self._samples: list[float] = []
+        self._ewma_p95: float | None = None
+        self._last_change: float | None = None
+        self.decisions = 0
+        self.grows = 0
+        self.shrinks = 0
+        self.shed_shrinks = 0
+        self.sheds_at_floor = 0
+        self.budget_clamps = 0
+
+    # -- signal intake ----------------------------------------------------
+
+    def observe_fanout(self, seconds: float) -> None:
+        """One per-shard task's wall time (executor observer hook)."""
+        with self._lock:
+            self._samples.append(seconds)
+            excess = len(self._samples) - self.config.window
+            if excess > 0:
+                del self._samples[:excess]
+
+    # -- control loop -----------------------------------------------------
+
+    def decide(self, queue_depth: int, queue_capacity: int) -> str | None:
+        """Fold current signals into a width decision.
+
+        Called on the request path (once per admitted leader), so it
+        must stay O(window).  Returns ``"shrink"``/``"grow"`` when the
+        width changed, else ``None``.
+        """
+        now = self._clock()
+        with self._lock:
+            self.decisions += 1
+            p95 = self._window_p95_locked()
+            if p95 is not None:
+                alpha = self.config.ewma_alpha
+                self._ewma_p95 = (p95 if self._ewma_p95 is None
+                                  else alpha * p95
+                                  + (1.0 - alpha) * self._ewma_p95)
+            occupancy = (queue_depth / queue_capacity
+                         if queue_capacity > 0 else 0.0)
+            hot = (occupancy >= self.config.queue_high_fraction
+                   or (self._ewma_p95 is not None
+                       and self._ewma_p95 > self.config.target_p95_seconds))
+            calm = (occupancy <= self.config.queue_low_fraction
+                    and (self._ewma_p95 is None
+                         or self._ewma_p95
+                         <= self.config.target_p95_seconds * 0.5))
+            if self._last_change is not None and \
+                    now - self._last_change < self.config.cooldown_seconds:
+                return None
+            if hot and self._width > self.floor:
+                self._width = max(self.floor, self._width // 2)
+                self.shrinks += 1
+                self._last_change = now
+                return "shrink"
+            if calm and self._width < self.ceiling:
+                self._width += 1
+                self.grows += 1
+                self._last_change = now
+                return "grow"
+            return None
+
+    def on_shed(self) -> None:
+        """A request was shed: shrink now, or count a floor shed.
+
+        Shedding above the floor means the controller was too slow —
+        halve immediately (ignoring the cooldown; overload outranks
+        damping).  Shedding *at* the floor is the intended behaviour:
+        the tier is as narrow as allowed and load must go somewhere.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._width > self.floor:
+                self._width = max(self.floor, self._width // 2)
+                self.shrinks += 1
+                self.shed_shrinks += 1
+                self._last_change = now
+            else:
+                self.sheds_at_floor += 1
+
+    # -- outputs ----------------------------------------------------------
+
+    def effective_width(self) -> int:
+        with self._lock:
+            return self._width
+
+    def budget(self) -> FanoutBudget:
+        """A per-request budget at the current width (clamps counted)."""
+        return FanoutBudget(self.effective_width(),
+                            on_clamp=self._note_clamp)
+
+    def _note_clamp(self, requested: int, granted: int) -> None:
+        with self._lock:
+            self.budget_clamps += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every decision counter, for ``stats()``/dashboards."""
+        with self._lock:
+            ewma = self._ewma_p95
+            return {
+                "enabled": True,
+                "width": self._width,
+                "floor": self.floor,
+                "ceiling": self.ceiling,
+                "ewma_p95_ms": None if ewma is None else ewma * 1000.0,
+                "window_samples": len(self._samples),
+                "decisions": self.decisions,
+                "grows": self.grows,
+                "shrinks": self.shrinks,
+                "width_changes": self.grows + self.shrinks,
+                "shed_shrinks": self.shed_shrinks,
+                "sheds_at_floor": self.sheds_at_floor,
+                "budget_clamps": self.budget_clamps,
+            }
+
+    # -- internals --------------------------------------------------------
+
+    def _window_p95_locked(self) -> float | None:
+        # Callers hold self._lock (the _locked suffix is the contract).
+        if not self._samples:  # lint: allow=REP201
+            return None
+        ordered = sorted(self._samples)  # lint: allow=REP201
+        rank = min(len(ordered) - 1,
+                   max(0, round(0.95 * (len(ordered) - 1))))
+        return ordered[rank]

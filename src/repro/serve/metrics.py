@@ -102,6 +102,7 @@ class ServiceMetrics:
         self.requests: Counter[str] = Counter()
         self.errors: Counter[str] = Counter()
         self.shed = 0
+        self.cost_rejected = 0
         self.deadline_exceeded = 0
         self.retries = 0
         self.collapsed_misses = 0
@@ -123,6 +124,11 @@ class ServiceMetrics:
     def record_shed(self) -> None:
         with self._lock:
             self.shed += 1
+
+    def record_cost_rejected(self) -> None:
+        """A request priced over the cost budget before any fan-out."""
+        with self._lock:
+            self.cost_rejected += 1
 
     def record_deadline_exceeded(self) -> None:
         with self._lock:
@@ -164,6 +170,7 @@ class ServiceMetrics:
             errors = dict(self.errors)
             engines = dict(self._per_engine)
             shed = self.shed
+            cost_rejected = self.cost_rejected
             deadline_exceeded = self.deadline_exceeded
             retries = self.retries
             collapsed_misses = self.collapsed_misses
@@ -173,6 +180,7 @@ class ServiceMetrics:
             "total_requests": sum(requests.values()),
             "errors": errors,
             "shed": shed,
+            "cost_rejected": cost_rejected,
             "deadline_exceeded": deadline_exceeded,
             "retries": retries,
             "collapsed_misses": collapsed_misses,

@@ -36,17 +36,24 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.errors import (
     DeadlineExceededError,
     QueryError,
+    RequestTooExpensiveError,
     ServiceClosedError,
     ServiceOverloadedError,
     ShardingError,
 )
+from repro.analysis.pipeline_check import (
+    PipelineCostEstimate,
+    estimate_pipeline_cost,
+)
 from repro.docstore.executor import (
     add_fanout_observer,
+    budget_scope,
     executor_width,
     remove_fanout_observer,
 )
 from repro.serve.admission import ReadWriteLock, WorkerPool, retry_call
 from repro.serve.cache import Flight, ResultCache, request_key
+from repro.serve.loadctl import LoadControlConfig, LoadController
 from repro.serve.metrics import ServiceMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -73,6 +80,14 @@ class ServeConfig:
     #: Pre-flight validate every engine's pipeline before shard fan-out
     #: (cheap — O(pipeline size); rejects malformed requests up front).
     validate_pipelines: bool = False
+    #: Reject leader requests whose worst-case pipeline cost estimate
+    #: (see :func:`repro.analysis.pipeline_check.estimate_pipeline_cost`)
+    #: exceeds this many work units — *before* any shard fan-out.
+    #: ``None`` disables pricing.
+    max_request_cost: float | None = None
+    #: Adaptive load control (fan-out budgets sized by an AIMD width
+    #: controller).  ``None`` keeps the fixed-width behaviour.
+    load_control: LoadControlConfig | None = None
 
 
 @dataclass
@@ -119,6 +134,10 @@ class QueryService:
         )
         self.metrics = ServiceMetrics(self.config.histogram_capacity)
         add_fanout_observer(self.metrics.record_fanout)
+        self.loadctl: LoadController | None = None
+        if self.config.load_control is not None:
+            self.loadctl = LoadController(self.config.load_control)
+            add_fanout_observer(self.loadctl.observe_fanout)
         self._pool = WorkerPool(
             num_workers=self.config.num_workers,
             max_queue=self.config.max_queue,
@@ -210,6 +229,23 @@ class QueryService:
         timeout = (timeout_seconds if timeout_seconds is not None
                    else self.config.default_timeout_seconds)
         deadline = None if timeout is None else started + timeout
+        if self.config.max_request_cost is not None:
+            estimate = self._estimate_cost(engine, params)
+            if estimate is not None and \
+                    estimate.total_cost > self.config.max_request_cost:
+                exc = RequestTooExpensiveError(
+                    f"estimated pipeline cost {estimate.total_cost:.0f} "
+                    f"exceeds budget {self.config.max_request_cost:.0f} "
+                    f"(engine {engine!r}, worst-case "
+                    f"{estimate.documents_in:.0f} docs in)"
+                )
+                # Deterministic for this data snapshot: negative-cache
+                # it so retries replay the rejection without re-pricing.
+                self.cache.fail(flight, exc, negative=True)
+                self.metrics.record_cost_rejected()
+                raise exc
+        if self.loadctl is not None:
+            self.loadctl.decide(self._pool.pending, self._pool.max_queue)
         try:
             future = self._pool.submit(
                 lambda: self._execute(engine, params, key, started,
@@ -220,6 +256,8 @@ class QueryService:
             # Shed before execution: wake followers so they don't hang.
             self.cache.fail(flight, exc)
             self.metrics.record_shed()
+            if self.loadctl is not None:
+                self.loadctl.on_shed()
             raise
 
         def settle_if_dropped(outer: "Future[ServedResult]") -> None:
@@ -289,7 +327,14 @@ class QueryService:
             "max_queue": self._pool.max_queue,
             "pending": self._pool.pending,
             "executor_width": executor_width(),
+            "effective_width": (self.loadctl.effective_width()
+                                if self.loadctl is not None
+                                else executor_width()),
         }
+        snapshot["load_control"] = (self.loadctl.snapshot()
+                                    if self.loadctl is not None
+                                    else {"enabled": False})
+        snapshot["max_request_cost"] = self.config.max_request_cost
         snapshot["versions"] = {
             "store": self.system.store.version,
             "kg": self.system.graph.version,
@@ -301,6 +346,8 @@ class QueryService:
             return
         self._closed = True
         remove_fanout_observer(self.metrics.record_fanout)
+        if self.loadctl is not None:
+            remove_fanout_observer(self.loadctl.observe_fanout)
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "QueryService":
@@ -325,12 +372,49 @@ class QueryService:
         # meta_profile reads the ingested corpus.
         return (system.store.version,)
 
+    def _estimate_cost(self, engine: str, params: dict[str, Any]
+                       ) -> PipelineCostEstimate | None:
+        """Worst-case work units for one request, before any fan-out.
+
+        Search engines are priced from their canonical pipeline shape
+        against per-shard index sizes; ``kg``/``meta_profile`` are
+        priced as one cheap pass over the graph/corpus.  Returns
+        ``None`` only for engines with nothing to price (e.g. a
+        replaced dispatch entry in tests).
+        """
+        system = self.system
+        try:
+            page = max(1, int(params.get("page", 1)))
+        except (TypeError, ValueError):
+            page = 1
+        search_engines = {
+            "all_fields": system.all_fields,
+            "title_abstract": system.title_abstract,
+            "table": system.tables,
+        }
+        target = search_engines.get(engine)
+        if target is not None:
+            return estimate_pipeline_cost(
+                target.pipeline_plan(page=page),
+                target.shard_document_counts(),
+            )
+        if engine == "kg":
+            # Graph search scores every node once.
+            return estimate_pipeline_cost([{"$match": {}}],
+                                          [len(system.graph)])
+        if engine == "meta_profile":
+            # One pass over the ingested corpus.
+            return estimate_pipeline_cost([{"$match": {}}],
+                                          system.store.shard_sizes())
+        return None
+
     def _execute(self, engine: str, params: dict[str, Any],
                  key: Any, started: float, deadline: float | None,
                  flight: Flight) -> ServedResult:
         runner = self._dispatch[engine]
+        budget = None if self.loadctl is None else self.loadctl.budget()
         try:
-            with self._data_lock.read_locked():
+            with self._data_lock.read_locked(), budget_scope(budget):
                 versions = self._versions(engine)
                 value = retry_call(
                     lambda: runner(**params),

@@ -100,6 +100,10 @@ def rank(doc):
 
 registry.register("rank", rank)
 """,
+    "REP205": """
+def gather(futures):
+    return [future.result() for future in futures]
+""",
 }
 
 CLEAN_FIXTURE = """
@@ -136,6 +140,61 @@ def test_each_rule_fires_exactly_once_on_its_fixture(rule_id):
 
 def test_clean_fixture_produces_no_findings():
     assert _lint_text(CLEAN_FIXTURE) == []
+
+
+def test_rep205_barrier_in_same_scope_is_clean():
+    text = """
+from concurrent.futures import wait
+
+
+def gather(futures):
+    wait(futures)
+    return [future.result() for future in futures]
+"""
+    assert _lint_text(text) == []
+
+
+def test_rep205_enclosing_scope_barrier_covers_nested_helpers():
+    text = """
+from concurrent.futures import wait
+
+
+def gather(futures):
+    wait(futures)
+
+    def collect():
+        return [future.result() for future in futures]
+
+    return collect()
+"""
+    assert _lint_text(text) == []
+
+
+def test_rep205_nested_barrier_does_not_excuse_the_outer_scope():
+    # A wait() buried in a helper does not quiesce the outer loop's
+    # futures; the outer gather must still be flagged.
+    text = """
+from concurrent.futures import wait
+
+
+def gather(futures):
+    def settle(extra):
+        wait(extra)
+
+    return [future.result() for future in futures]
+"""
+    assert [f.rule for f in _lint_text(text)] == ["REP205"]
+
+
+def test_rep205_flags_explicit_for_loops_too():
+    text = """
+def drain(futures):
+    results = []
+    for future in futures:
+        results.append(future.result())
+    return results
+"""
+    assert [f.rule for f in _lint_text(text)] == ["REP205"]
 
 
 def test_findings_carry_location_and_snippet():

@@ -124,9 +124,10 @@ class TestCovidKGSystem:
         stats = system.statistics()
         assert set(stats) == {
             "publications", "kg", "storage_bytes", "shard_sizes",
-            "pending_reviews", "registered_models",
+            "executor_width", "pending_reviews", "registered_models",
         }
         assert stats["storage_bytes"] > 0
+        assert stats["executor_width"] >= 1
 
     def test_untrained_system_still_ingests(self, corpus):
         kg = CovidKG(CovidKGConfig(num_shards=2))

@@ -1,16 +1,20 @@
 """Regression tests for the concurrency bugs the linter flagged.
 
 Each test here pins a specific fix: the executor's shutdown-under-lock
-deadlock, observer callbacks running under the module lock, and the
-metrics/cache snapshot methods that used to read shared counters with
-no lock at all.  The deadlock tests run the risky sequence on a helper
-thread and fail via join-timeout instead of hanging the suite.
+deadlock (both the explicit teardown and the width-change rebuild),
+observer callbacks running under the module lock, the fan-out paths
+that used to raise before quiescing (or mask a falsy winner), the
+admission pool's submit/shutdown race, and the metrics/cache snapshot
+methods that used to read shared counters with no lock at all.  The
+deadlock tests run the risky sequence on a helper thread and fail via
+join-timeout instead of hanging the suite.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -19,8 +23,15 @@ from repro.docstore.executor import (
     add_fanout_observer,
     remove_fanout_observer,
     scatter,
+    scatter_first,
     shutdown_executor,
 )
+from repro.errors import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ShardingError,
+)
+from repro.serve.admission import WorkerPool
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import LatencyHistogram, ServiceMetrics
 
@@ -83,6 +94,175 @@ def test_observer_may_unregister_itself_without_deadlock():
     assert len(calls) >= 1
     scatter([lambda: 3, lambda: 4])  # unregistered: no further calls
     assert len(calls) <= 2
+
+
+def test_width_change_rebuild_retires_old_pool_outside_module_lock(
+        monkeypatch):
+    """A width-change rebuild must not shut the old pool down under
+    the module lock.
+
+    ``shutdown`` (even ``wait=False``) takes the pool's internal locks
+    and may wake workers that re-enter this module; the probe below
+    asserts the module lock is free while it runs.  Pre-fix code called
+    ``doomed.shutdown`` inside ``with _lock:`` and the probe times out.
+    """
+    assert scatter([lambda: 1, lambda: 2]) == [1, 2]  # build at width 4
+    probes: list[bool] = []
+    real_shutdown = ThreadPoolExecutor.shutdown
+
+    def probing_shutdown(self, wait=True, *, cancel_futures=False):
+        acquired = executor_module._lock.acquire(timeout=1.0)
+        if acquired:
+            executor_module._lock.release()
+        probes.append(acquired)
+        return real_shutdown(self, wait=wait,
+                             cancel_futures=cancel_futures)
+
+    monkeypatch.setattr(ThreadPoolExecutor, "shutdown", probing_shutdown)
+    monkeypatch.setenv(executor_module.WIDTH_ENV, "3")
+    executor_module.get_executor()  # width changed: rebuild + retire
+    assert probes, "width change did not retire the old pool"
+    assert all(probes), \
+        "old pool shutdown ran while the module lock was held"
+
+
+@pytest.mark.parametrize("raw, expected", [
+    ("0", executor_module.DEFAULT_WIDTH),   # 0 = "auto"
+    ("-3", 1),                              # negative = explicit serial
+    ("garbage", executor_module.DEFAULT_WIDTH),
+    ("", executor_module.DEFAULT_WIDTH),
+    ("6", 6),
+])
+def test_executor_width_env_semantics(monkeypatch, raw, expected):
+    monkeypatch.setenv(executor_module.WIDTH_ENV, raw)
+    assert executor_module.executor_width() == expected
+
+
+def test_executor_width_defaults_when_env_unset(monkeypatch):
+    monkeypatch.delenv(executor_module.WIDTH_ENV, raising=False)
+    assert executor_module.executor_width() == executor_module.DEFAULT_WIDTH
+
+
+def test_scatter_quiesces_before_raising():
+    """A failed fan-out must not raise while sibling tasks still run.
+
+    Pre-fix code consumed ``future.result()`` in submission order, so
+    the first exception propagated while the slow task was still
+    mutating — here that would flip ``finished`` *after* scatter
+    returned.
+    """
+    release = threading.Event()
+    slow_started = threading.Event()
+    finished: list[bool] = [False]
+
+    def failer():
+        # Raise only once the sibling is *running* (so it cannot just
+        # be cancelled) — the interesting case is a started task.
+        assert slow_started.wait(timeout=5.0)
+        raise RuntimeError("shard 0 exploded")
+
+    def slow():
+        slow_started.set()
+        release.wait(timeout=5.0)
+        finished[0] = True
+        return 1
+
+    threading.Timer(0.2, release.set).start()
+    with pytest.raises(RuntimeError, match="shard 0 exploded"):
+        scatter([failer, slow])
+    finished_at_raise = finished[0]
+    time.sleep(0.3)  # a still-running task would mutate in this window
+    assert finished_at_raise, \
+        "scatter raised before the started sibling task finished"
+    assert finished == [finished_at_raise]
+
+
+def test_scatter_raises_first_error_after_quiesce():
+    """Multiple failures: the first (in task order) wins, once settled."""
+    def fail_a():
+        raise RuntimeError("first")
+
+    def fail_b():
+        time.sleep(0.05)
+        raise ValueError("second")
+
+    with pytest.raises(RuntimeError, match="first"):
+        scatter([fail_a, fail_b, lambda: 1])
+
+
+def test_scatter_first_falsy_accepted_result_wins():
+    """An accepted falsy winner must not be masked by a shard error.
+
+    Pre-fix code tracked the winner by value, so an accepted ``None``
+    looked like "nobody accepted" and an unrelated shard error was
+    raised instead.
+    """
+    failed = threading.Event()
+
+    def failer():
+        failed.set()
+        raise ShardingError("shard 1 down")
+
+    def winner():
+        failed.wait(timeout=5.0)
+        time.sleep(0.05)  # let the failure settle first
+        return None
+
+    result = scatter_first([failer, winner], accept=lambda value: True)
+    assert result is None
+
+
+def test_scatter_first_still_raises_when_nothing_accepted():
+    def failer():
+        raise ShardingError("shard 1 down")
+
+    with pytest.raises(ShardingError):
+        scatter_first([failer, lambda: 0],
+                      accept=lambda value: value is Ellipsis)
+
+
+def test_worker_pool_submit_shutdown_race_settles_every_future():
+    """No future returned by ``submit`` may languish unsettled.
+
+    Pre-fix code enqueued outside the closed-check lock, so a task
+    could land in the queue *after* the shutdown sentinels (and after
+    the shutdown drain) — its future never resolved.  Hammer the
+    interleaving; any lost future fails the ``result(timeout=...)``.
+    """
+    for _ in range(15):
+        pool = WorkerPool(num_workers=2, max_queue=32)
+        futures: list = []
+        futures_lock = threading.Lock()
+        start = threading.Barrier(5)
+
+        def submitter():
+            start.wait(timeout=5.0)
+            while True:
+                try:
+                    future = pool.submit(lambda: 1)
+                except ServiceClosedError:
+                    return
+                except ServiceOverloadedError:
+                    continue
+                with futures_lock:
+                    futures.append(future)
+
+        def shutter():
+            start.wait(timeout=5.0)
+            pool.shutdown(wait=True)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        threads.append(threading.Thread(target=shutter))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        for future in futures:
+            try:
+                assert future.result(timeout=2.0) == 1
+            except ServiceClosedError:
+                pass  # failed by the shutdown drain: still settled
 
 
 def _hammer(worker, num_threads: int = 4) -> None:

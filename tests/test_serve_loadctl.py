@@ -1,0 +1,511 @@
+"""Adaptive load control: cost gate, fan-out budgets, AIMD controller.
+
+Three layers under test:
+
+* :func:`estimate_pipeline_cost` — the worst-case request pricer the
+  serving tier consults before any shard fan-out;
+* :class:`FanoutBudget` / :func:`budget_scope` — the per-request cap on
+  concurrent fan-out tasks, ambient through the docstore;
+* :class:`LoadController` — the AIMD width controller, driven here with
+  an injectable clock, plus its end-to-end wiring through
+  :class:`QueryService` (cost rejections, budget clamps, stats fields,
+  and a width-flip/shutdown stress run that doubles as a race test
+  under ``REPRO_RACECHECK=1``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.analysis.pipeline_check import estimate_pipeline_cost
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.docstore import executor as executor_module
+from repro.docstore.executor import (
+    FanoutBudget,
+    budget_scope,
+    current_budget,
+    scatter,
+    shutdown_executor,
+)
+from repro.errors import RequestTooExpensiveError, ServiceOverloadedError
+from repro.serve.loadctl import LoadControlConfig, LoadController
+from repro.serve.service import QueryService, ServeConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_executor(monkeypatch):
+    monkeypatch.setenv(executor_module.WIDTH_ENV, "4")
+    shutdown_executor()
+    yield
+    shutdown_executor()
+
+
+@pytest.fixture(scope="module")
+def system():
+    papers = CorpusGenerator(GeneratorConfig(
+        seed=47, papers_per_week=15, tables_per_paper=(1, 2),
+    )).papers(30)
+    kg = CovidKG(CovidKGConfig(num_shards=3))
+    kg.ingest(papers)
+    return kg
+
+
+# -- cost estimation -------------------------------------------------------
+
+class TestEstimatePipelineCost:
+    def test_match_only_costs_one_touch_per_document(self):
+        estimate = estimate_pipeline_cost([{"$match": {}}], [10, 20, 30])
+        assert estimate.documents_in == 60
+        assert estimate.documents_out == 60
+        assert estimate.total_cost == 60
+        assert [s.stage for s in estimate.stages] == ["$match"]
+
+    def test_bare_int_is_a_single_shard(self):
+        assert estimate_pipeline_cost([{"$match": {}}], 25).total_cost == 25
+
+    def test_empty_pipeline_is_free(self):
+        estimate = estimate_pipeline_cost([], [100])
+        assert estimate.total_cost == 0
+        assert estimate.documents_out == estimate.documents_in == 100
+
+    def test_topk_sort_prices_below_full_sort(self):
+        full = estimate_pipeline_cost([{"$sort": {"score": -1}}], [1000])
+        topk = estimate_pipeline_cost(
+            [{"$sort": {"score": -1}}, {"$limit": 10}], [1000]
+        )
+        assert topk.total_cost < full.total_cost
+        assert topk.documents_out == 10
+        assert topk.stages[0].stage == "$sort(top-k)"
+        # The folded $limit is priced inside the sort stage.
+        assert len(topk.stages) == 1
+
+    def test_skip_and_limit_both_fold_into_topk(self):
+        estimate = estimate_pipeline_cost(
+            [{"$sort": {"score": -1}}, {"$skip": 10}, {"$limit": 10}],
+            [500],
+        )
+        assert len(estimate.stages) == 1
+        assert estimate.documents_out == 10
+
+    def test_function_stage_carries_its_factor(self):
+        estimate = estimate_pipeline_cost(
+            [{"$function": {"name": "rank", "as": "score"}}], [100]
+        )
+        assert estimate.total_cost == pytest.approx(400.0)
+        assert estimate.documents_out == 100
+
+    def test_unwind_fans_documents_out(self):
+        estimate = estimate_pipeline_cost([{"$unwind": "$tables"}], [100])
+        assert estimate.documents_out > 100
+
+    def test_count_collapses_to_one_document(self):
+        estimate = estimate_pipeline_cost([{"$count": "n"}], [10])
+        assert estimate.documents_out == 1
+
+    def test_facet_replays_input_per_subpipeline(self):
+        estimate = estimate_pipeline_cost(
+            [{"$facet": {"a": [{"$match": {}}], "b": [{"$match": {}}]}}],
+            [50],
+        )
+        assert estimate.total_cost == pytest.approx(150.0)  # 50 + 50 + 50
+        assert estimate.documents_out == 1
+
+    def test_search_pipeline_shape_prices_end_to_end(self, system):
+        engine = system.all_fields
+        estimate = estimate_pipeline_cost(
+            engine.pipeline_plan(page=1), engine.shard_document_counts()
+        )
+        assert estimate.documents_in == len(system.store)
+        assert estimate.total_cost > estimate.documents_in
+        assert estimate.documents_out <= 10  # one page
+
+
+# -- fan-out budgets -------------------------------------------------------
+
+class TestFanoutBudget:
+    def test_grant_within_limit_is_free(self):
+        budget = FanoutBudget(4)
+        assert budget.grant(3) == 3
+        assert budget.clamps == 0
+
+    def test_grant_clamps_and_reports(self):
+        clamped: list[tuple[int, int]] = []
+        budget = FanoutBudget(2, on_clamp=lambda r, g: clamped.append((r, g)))
+        assert budget.grant(5) == 2
+        assert budget.clamps == 1
+        assert clamped == [(5, 2)]
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(ValueError):
+            FanoutBudget(0)
+        with pytest.raises(ValueError):
+            FanoutBudget(-1)
+
+    def test_budget_scope_is_ambient_and_nests(self):
+        outer = FanoutBudget(3)
+        assert current_budget() is None
+        with budget_scope(outer):
+            assert current_budget() is outer
+            with budget_scope(None):
+                assert current_budget() is None
+            assert current_budget() is outer
+        assert current_budget() is None
+
+    def test_budget_caps_concurrent_scatter_tasks(self):
+        active = 0
+        peak = 0
+        gauge = threading.Lock()
+
+        def task():
+            nonlocal active, peak
+            with gauge:
+                active += 1
+                peak = max(peak, active)
+            time.sleep(0.02)
+            with gauge:
+                active -= 1
+            return 1
+
+        budget = FanoutBudget(2)
+        with budget_scope(budget):
+            results = scatter([task] * 6)
+        assert results == [1] * 6
+        assert peak <= 2
+        assert budget.clamps == 1
+
+    def test_windowed_scatter_keeps_task_order(self):
+        def make(index):
+            def task():
+                time.sleep(0.01 * (5 - index))  # later tasks finish first
+                return index
+            return task
+
+        results = scatter([make(i) for i in range(6)],
+                          budget=FanoutBudget(2))
+        assert results == list(range(6))
+
+    def test_windowed_scatter_stops_submitting_and_quiesces_on_error(self):
+        release = threading.Event()
+        ran = [False] * 6
+        finished: list[bool] = [False]
+
+        def blocker():
+            ran[0] = True
+            release.wait(timeout=5.0)
+            finished[0] = True
+            return 0
+
+        def failer():
+            ran[1] = True
+            raise RuntimeError("boom")
+
+        def make(index):
+            def task():
+                ran[index] = True
+                return index
+            return task
+
+        tasks = [blocker, failer] + [make(i) for i in range(2, 6)]
+        threading.Timer(0.2, release.set).start()
+        with pytest.raises(RuntimeError, match="boom"):
+            scatter(tasks, budget=FanoutBudget(2))
+        assert finished[0], "in-flight window did not drain before raise"
+        assert ran[2:] == [False] * 4, \
+            "tasks were submitted after the first failure"
+
+
+# -- the AIMD controller ---------------------------------------------------
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _controller(**overrides):
+    config = LoadControlConfig(**{
+        "floor": 1, "ceiling": 8, "cooldown_seconds": 0.25, **overrides,
+    })
+    clock = _Clock()
+    return LoadController(config, clock=clock), clock
+
+
+class TestLoadController:
+    def test_starts_at_the_ceiling(self):
+        controller, _ = _controller()
+        assert controller.effective_width() == 8
+
+    def test_ceiling_defaults_to_executor_width(self):
+        controller = LoadController(LoadControlConfig())
+        assert controller.ceiling == 4  # the fixture's REPRO_EXECUTOR_WIDTH
+
+    def test_floor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LoadController(LoadControlConfig(floor=0))
+
+    def test_full_queue_halves_width_down_to_the_floor(self):
+        controller, clock = _controller()
+        assert controller.decide(8, 8) == "shrink"
+        assert controller.effective_width() == 4
+        assert controller.decide(8, 8) is None  # cooldown
+        clock.advance(0.3)
+        assert controller.decide(8, 8) == "shrink"
+        clock.advance(0.3)
+        assert controller.decide(8, 8) == "shrink"
+        assert controller.effective_width() == 1
+        clock.advance(0.3)
+        assert controller.decide(8, 8) is None  # at the floor: shed, not shrink
+        assert controller.shrinks == 3
+
+    def test_high_fanout_p95_is_hot_even_with_an_empty_queue(self):
+        controller, _ = _controller(target_p95_seconds=0.01)
+        for _ in range(10):
+            controller.observe_fanout(1.0)
+        assert controller.decide(0, 64) == "shrink"
+
+    def test_calm_tier_grows_additively_back_to_the_ceiling(self):
+        controller, clock = _controller()
+        controller.on_shed()  # 8 -> 4
+        width = 4
+        while width < 8:
+            clock.advance(0.3)
+            assert controller.decide(0, 64) == "grow"
+            width += 1
+            assert controller.effective_width() == width
+        clock.advance(0.3)
+        assert controller.decide(0, 64) is None  # at the ceiling
+        assert controller.grows == 4
+
+    def test_shed_shrinks_immediately_ignoring_cooldown(self):
+        controller, _ = _controller()
+        assert controller.decide(8, 8) == "shrink"  # 8 -> 4, starts cooldown
+        controller.on_shed()  # no cooldown wait: 4 -> 2
+        assert controller.effective_width() == 2
+        assert controller.shed_shrinks == 1
+
+    def test_shed_at_the_floor_is_counted_not_shrunk(self):
+        controller, _ = _controller(floor=2)
+        controller.on_shed()  # 8 -> 4
+        controller.on_shed()  # 4 -> 2 (the floor)
+        controller.on_shed()  # stays: counted
+        assert controller.effective_width() == 2
+        assert controller.sheds_at_floor == 1
+
+    def test_budget_clamps_feed_back_into_the_controller(self):
+        controller, _ = _controller()
+        controller.on_shed()  # width 4
+        budget = controller.budget()
+        assert budget.grant(8) == 4
+        assert controller.snapshot()["budget_clamps"] == 1
+
+    def test_snapshot_carries_every_counter(self):
+        controller, clock = _controller()
+        controller.observe_fanout(0.002)
+        controller.decide(8, 8)
+        clock.advance(0.3)
+        controller.decide(0, 64)
+        snapshot = controller.snapshot()
+        assert snapshot["enabled"] is True
+        assert snapshot["floor"] == 1 and snapshot["ceiling"] == 8
+        assert snapshot["decisions"] == 2
+        assert snapshot["width_changes"] == \
+            snapshot["grows"] + snapshot["shrinks"]
+        assert snapshot["ewma_p95_ms"] == pytest.approx(2.0)
+        assert snapshot["window_samples"] == 1
+
+    def test_sample_window_is_bounded(self):
+        controller, _ = _controller(window=8)
+        for index in range(100):
+            controller.observe_fanout(float(index))
+        assert controller.snapshot()["window_samples"] == 8
+
+
+# -- QueryService integration ----------------------------------------------
+
+class TestServiceCostGate:
+    def test_over_budget_request_rejected_before_fanout(self, system):
+        with QueryService(system,
+                          ServeConfig(max_request_cost=0.5)) as service:
+            with pytest.raises(RequestTooExpensiveError):
+                service.query("all_fields", query="vaccine")
+            stats = service.stats()
+            assert stats["cost_rejected"] >= 1
+            assert stats["max_request_cost"] == 0.5
+            assert stats["load_control"] == {"enabled": False}
+
+    def test_rejection_is_negative_cached(self, system):
+        with QueryService(system,
+                          ServeConfig(max_request_cost=0.5)) as service:
+            with pytest.raises(RequestTooExpensiveError):
+                service.query("all_fields", query="vaccine")
+            with pytest.raises(RequestTooExpensiveError):
+                service.query("all_fields", query="vaccine")
+            stats = service.stats()
+            assert stats["negative_hits"] >= 1
+            assert stats["cost_rejected"] == 1  # priced once, replayed after
+
+    def test_generous_budget_serves_normally(self, system):
+        with QueryService(system,
+                          ServeConfig(max_request_cost=1e9)) as service:
+            result = service.query("all_fields", query="vaccine")
+            assert result.value.total_matches >= 0
+            assert service.stats()["cost_rejected"] == 0
+
+    def test_every_engine_is_priced(self, system):
+        with QueryService(system,
+                          ServeConfig(max_request_cost=0.0)) as service:
+            for engine, params in [
+                ("all_fields", {"query": "vaccine"}),
+                ("title_abstract", {"abstract": "vaccine"}),
+                ("table", {"query": "dosage"}),
+                ("kg", {"query": "side effects"}),
+                ("meta_profile", {}),
+            ]:
+                with pytest.raises(RequestTooExpensiveError):
+                    service.query(engine, **params)
+
+
+class TestServiceAdaptiveWidth:
+    def test_overloaded_tier_narrows_and_clamps_fanout(self, system):
+        config = ServeConfig(
+            num_workers=2,
+            load_control=LoadControlConfig(
+                floor=1, ceiling=4, cooldown_seconds=0.0,
+                target_p95_seconds=0.001,
+            ),
+        )
+        with QueryService(system, config) as service:
+            service._dispatch["all_fields"] = \
+                lambda **params: sum(scatter([lambda: 1] * 8))
+            assert service.loadctl is not None
+            for index in range(3):
+                # Saturated shards: every fan-out sample blows the target.
+                for _ in range(8):
+                    service.loadctl.observe_fanout(1.0)
+                result = service.query("all_fields", query=f"hot {index}")
+                assert result.value == 8
+            stats = service.stats()
+            control = stats["load_control"]
+            assert control["enabled"] is True
+            assert control["width"] == 1
+            assert control["shrinks"] >= 2
+            assert control["width_changes"] >= 2
+            assert control["budget_clamps"] >= 1
+            assert stats["admission"]["effective_width"] == 1
+
+    def test_shed_requests_force_an_immediate_shrink(self, system):
+        config = ServeConfig(
+            num_workers=1, max_queue=1,
+            load_control=LoadControlConfig(floor=1, ceiling=4,
+                                           cooldown_seconds=60.0),
+        )
+        with QueryService(system, config) as service:
+            release = threading.Event()
+            started = threading.Event()
+
+            def occupy_worker():
+                started.set()
+                release.wait(timeout=10)
+
+            blocker = service._pool.submit(occupy_worker)
+            assert started.wait(timeout=5)
+            with pytest.raises(ServiceOverloadedError):
+                for index in range(8):
+                    service.submit("all_fields", query=f"flood {index}")
+            release.set()
+            blocker.result(timeout=5)
+            control = service.stats()["load_control"]
+            assert control["shed_shrinks"] >= 1
+            assert control["width"] < 4
+
+    def test_adaptive_service_survives_width_flips_and_shutdowns(
+            self, system):
+        """Stress the controller while the executor width changes and
+        pool rebuilds race underneath it.
+
+        Under ``REPRO_RACECHECK=1`` the session gate turns this into a
+        lock-order race test too.
+        """
+        config = ServeConfig(
+            num_workers=4, max_queue=64,
+            load_control=LoadControlConfig(floor=1, ceiling=4,
+                                           cooldown_seconds=0.0),
+        )
+        errors: list[BaseException] = []
+        with QueryService(system, config) as service:
+            service._dispatch["all_fields"] = \
+                lambda **params: sum(scatter([lambda: 1] * 6))
+            stop = threading.Event()
+
+            def flipper():
+                widths = ["2", "4", "3", "5"]
+                index = 0
+                while not stop.is_set():
+                    os.environ[executor_module.WIDTH_ENV] = \
+                        widths[index % len(widths)]
+                    if index % 7 == 3:
+                        shutdown_executor()
+                    else:
+                        executor_module.get_executor()  # force a rebuild
+                    index += 1
+                    time.sleep(0.002)
+
+            def reader(seed):
+                try:
+                    for index in range(25):
+                        result = service.query(
+                            "all_fields", query=f"stress {seed} {index}"
+                        )
+                        assert result.value == 6
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    errors.append(exc)
+
+            flip = threading.Thread(target=flipper)
+            readers = [threading.Thread(target=reader, args=(seed,))
+                       for seed in range(4)]
+            flip.start()
+            for thread in readers:
+                thread.start()
+            for thread in readers:
+                thread.join(timeout=60)
+                assert not thread.is_alive()
+            stop.set()
+            flip.join(timeout=10)
+            assert not flip.is_alive()
+            assert not errors, f"stress raised: {errors!r}"
+            assert service.stats()["load_control"]["decisions"] >= 1
+
+
+class TestServeStatsCliAdaptive:
+    def test_adaptive_and_max_cost_flags(self, tmp_path, capsys):
+        from repro.api.persistence import save_system
+        from repro.cli import main
+
+        papers = CorpusGenerator(GeneratorConfig(
+            seed=48, papers_per_week=15, tables_per_paper=(1, 2),
+        )).papers(12)
+        kg = CovidKG(CovidKGConfig(num_shards=2))
+        kg.ingest(papers)
+        save_system(kg, tmp_path / "sys")
+
+        exit_code = main([
+            "serve-stats", "--system", str(tmp_path / "sys"),
+            "--requests", "8", "--workers", "2", "--adaptive",
+            "--max-cost", "1000000", "vaccine",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "load_control.enabled: True" in out
+        assert "load_control.width:" in out
+        assert "admission.effective_width:" in out
+        assert "cost_rejected: 0" in out
