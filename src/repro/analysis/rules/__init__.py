@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.lint import LintRule
 from repro.analysis.rules.concurrency import (
     AbandonedFutureGather,
+    BlockingCallInAsync,
     BlockingCallUnderLock,
     NestedFanOut,
     NondeterministicRankFunction,
@@ -24,6 +25,7 @@ from repro.analysis.rules.generic import (
 __all__ = [
     "default_rules",
     "UnguardedSharedState",
+    "BlockingCallInAsync",
     "BlockingCallUnderLock",
     "NestedFanOut",
     "NondeterministicRankFunction",
@@ -45,5 +47,6 @@ def default_rules() -> list[LintRule]:
         NestedFanOut(),
         NondeterministicRankFunction(),
         AbandonedFutureGather(),
+        BlockingCallInAsync(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

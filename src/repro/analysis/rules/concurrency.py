@@ -555,6 +555,102 @@ class AbandonedFutureGather(LintRule):
         return False
 
 
+class BlockingCallInAsync(LintRule):
+    """REP206: a blocking call on the event loop (inside ``async def``)."""
+
+    rule_id = "REP206"
+    severity = "error"
+    description = (
+        "a blocking call (time.sleep, Future.result, bare lock "
+        "acquire, thread join, synchronous socket or file I/O, "
+        "subprocess) inside an `async def` body stalls the event loop "
+        "for every connection it is multiplexing; await the async "
+        "equivalent or push the work onto an executor"
+    )
+
+    #: Socket-style methods that block the calling thread.
+    _SOCKET_ATTRS = frozenset({
+        "recv", "recv_into", "recvfrom", "send", "sendall", "sendto",
+        "accept", "connect",
+    })
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        time_sleep_names = BlockingCallUnderLock._imported_names(
+            source.tree, "time", {"sleep"}
+        )
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._scan_async_body(
+                    source, node, time_sleep_names
+                )
+
+    def _scan_async_body(self, source: Source,
+                         function: ast.AsyncFunctionDef,
+                         time_sleep_names: frozenset[str]
+                         ) -> Iterator[Finding]:
+        # Direct children only, skipping nested sync defs (their bodies
+        # run wherever they are *called* — often an executor thread —
+        # and nested async defs are visited by the outer walk).
+        stack: list[tuple[ast.AST, bool]] = [
+            (child, False) for child in ast.iter_child_nodes(function)
+        ]
+        while stack:
+            node, awaited = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Await):
+                # Whatever is directly awaited yields the loop; its
+                # arguments are still evaluated synchronously.
+                stack.extend(
+                    (child, True)
+                    for child in ast.iter_child_nodes(node)
+                )
+                continue
+            if isinstance(node, ast.Call) and not awaited:
+                reason = self._blocking_reason(node, time_sleep_names)
+                if reason is not None:
+                    yield self.finding(
+                        source, node,
+                        f"{reason} blocks the event loop in async "
+                        f"{function.name}()",
+                    )
+            stack.extend(
+                (child, False) for child in ast.iter_child_nodes(node)
+            )
+
+    def _blocking_reason(self, call: ast.Call,
+                         time_sleep_names: frozenset[str]) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "file I/O (open)"
+            if func.id in time_sleep_names:
+                return "time.sleep"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        chain = _attr_chain(func)
+        if chain[:2] == ["time", "sleep"]:
+            return "time.sleep"
+        if chain and chain[0] == "subprocess":
+            return f"subprocess ({'.'.join(chain)})"
+        if chain and chain[0] in ("socket", "requests", "urllib",
+                                  "http", "httpx"):
+            return f"synchronous network I/O ({'.'.join(chain)})"
+        if func.attr == "result":
+            return "Future.result()"
+        if func.attr in self._SOCKET_ATTRS and chain and \
+                chain[0] not in ("self",):
+            return f"synchronous socket op .{func.attr}()"
+        if func.attr == "acquire" and not call.args and \
+                not call.keywords:
+            return "bare lock acquire()"
+        if func.attr == "join" and not call.args:
+            return "thread join"
+        return None
+
+
 class NondeterministicRankFunction(LintRule):
     """REP204: clock/RNG use in a registered ``$function`` callable."""
 

@@ -10,6 +10,9 @@ Subcommands:
 * ``stats``       — system dashboard
 * ``bias``        — run the bias interrogation
 * ``serve-stats`` — drive queries through the serving tier, print metrics
+                    (or fetch ``/v1/stats`` from a live gateway with
+                    ``--url``)
+* ``gateway``     — serve the system over HTTP (asyncio front end)
 * ``analyze``     — run the repo's static analysis (concurrency lints)
 
 Example session::
@@ -110,12 +113,32 @@ def _flatten_stats(stats: dict, prefix: str = "") -> list[tuple[str, object]]:
     return lines
 
 
+def _print_flat_stats(stats: dict) -> None:
+    """Shared rendering for in-process and over-the-wire stats."""
+    for path, value in _flatten_stats(stats):
+        if isinstance(value, float):
+            print(f"{path}: {value:.3f}")
+        else:
+            print(f"{path}: {value}")
+
+
 def _cmd_serve_stats(args: argparse.Namespace) -> int:
     from concurrent.futures import wait
 
     from repro.serve.loadctl import LoadControlConfig
     from repro.serve.service import QueryService, ServeConfig
 
+    if args.url:
+        # A live gateway already has the serving tier warmed up; fetch
+        # its /v1/stats instead of standing up an in-process service.
+        from repro.gateway.client import GatewayClient
+
+        with GatewayClient.from_url(args.url) as client:
+            _print_flat_stats(client.stats())
+        return 0
+    if not args.system:
+        print("serve-stats needs --system PATH or --url http://host:port")
+        return 2
     system = load_system(args.system)
     config = ServeConfig(
         num_workers=args.workers,
@@ -137,12 +160,53 @@ def _cmd_serve_stats(args: argparse.Namespace) -> int:
         print(f"{served.value.total_matches} matches for {args.query!r} "
               f"({'cached' if served.cached else 'cold'}, "
               f"{served.seconds * 1000:.2f} ms)")
-        for path, value in _flatten_stats(service.stats()):
-            if isinstance(value, float):
-                print(f"{path}: {value:.3f}")
-            else:
-                print(f"{path}: {value}")
+        _print_flat_stats(service.stats())
     return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Serve a system over HTTP until SIGTERM/SIGINT, then drain."""
+    import logging
+
+    from repro.gateway.server import run_gateway
+    from repro.serve.loadctl import LoadControlConfig
+    from repro.serve.service import (
+        GatewayConfig,
+        QueryService,
+        ServeConfig,
+    )
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(message)s",
+    )
+    if args.system:
+        system = load_system(args.system)
+    else:
+        # No saved system: build a synthetic one in-process so smoke
+        # tests and demos can start a gateway with zero setup.
+        print(f"no --system given; generating {args.generate} synthetic "
+              f"papers across {args.shards} shard(s) ...", flush=True)
+        system = CovidKG(CovidKGConfig(num_shards=args.shards))
+        papers = CorpusGenerator(GeneratorConfig(
+            seed=args.seed, papers_per_week=25,
+        )).papers(args.generate)
+        system.ingest(papers)
+    gateway_config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        drain_seconds=args.drain_seconds,
+    )
+    config = ServeConfig(
+        num_workers=args.workers,
+        max_queue=args.max_queue,
+        max_request_cost=args.max_cost,
+        load_control=LoadControlConfig() if args.adaptive else None,
+        gateway=gateway_config,
+    )
+    with QueryService(system, config) as service:
+        return run_gateway(service, gateway_config)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -236,9 +300,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_stats = sub.add_parser(
         "serve-stats",
-        help="run queries through the serving tier and print its metrics",
+        help="run queries through the serving tier and print its "
+             "metrics, or fetch /v1/stats from a live gateway (--url)",
     )
-    serve_stats.add_argument("--system", required=True)
+    serve_stats.add_argument("--system", default=None)
+    serve_stats.add_argument("--url", default=None,
+                             help="fetch stats from a running gateway "
+                                  "(http://host:port) instead of "
+                                  "standing up an in-process service")
     serve_stats.add_argument("--requests", type=int, default=50,
                              help="number of requests to issue")
     serve_stats.add_argument("--workers", type=int, default=4)
@@ -248,8 +317,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve_stats.add_argument("--max-cost", type=float, default=None,
                              help="reject requests whose estimated "
                                   "pipeline cost exceeds this budget")
-    serve_stats.add_argument("query")
+    serve_stats.add_argument("query", nargs="?", default="covid")
     serve_stats.set_defaults(func=_cmd_serve_stats)
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="serve the system as JSON over HTTP (asyncio front end); "
+             "SIGTERM/SIGINT drains gracefully",
+    )
+    gateway.add_argument("--system", default=None,
+                         help="saved system directory (omit to serve a "
+                              "generated synthetic corpus)")
+    gateway.add_argument("--generate", type=int, default=60,
+                         help="synthetic papers to build when no "
+                              "--system is given")
+    gateway.add_argument("--shards", type=int, default=4,
+                         help="shard count for the generated system")
+    gateway.add_argument("--seed", type=int, default=0)
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=8080,
+                         help="0 binds an ephemeral port")
+    gateway.add_argument("--workers", type=int, default=4)
+    gateway.add_argument("--max-queue", type=int, default=64)
+    gateway.add_argument("--max-connections", type=int, default=1024)
+    gateway.add_argument("--drain-seconds", type=float, default=5.0)
+    gateway.add_argument("--adaptive", action="store_true",
+                         help="enable the adaptive load controller")
+    gateway.add_argument("--max-cost", type=float, default=None,
+                         help="reject requests priced over this budget")
+    gateway.set_defaults(func=_cmd_gateway)
 
     analyze = sub.add_parser(
         "analyze",

@@ -90,3 +90,15 @@ class RequestTooExpensiveError(ServiceError):
     Raised *before* the request touches the scatter path, so pricing a
     request never costs more than estimating it.
     """
+
+
+class GatewayError(ReproError):
+    """The HTTP gateway failed a request before it reached the service."""
+
+
+class BadRequestError(GatewayError):
+    """The HTTP request is malformed or carries invalid parameters."""
+
+
+class PayloadTooLargeError(GatewayError):
+    """The HTTP request body exceeds the gateway's configured limit."""

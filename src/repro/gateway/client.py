@@ -1,0 +1,229 @@
+"""A tiny synchronous HTTP/1.1 keep-alive client (stdlib sockets only).
+
+Tests, benchmarks, and ``repro-covidkg serve-stats --url`` drive the
+gateway through this instead of an external HTTP library: it reuses one
+socket across requests (so keep-alive behaviour is actually exercised),
+exposes :meth:`GatewayClient.send_raw` for malformed-wire tests, and
+counts its own reconnects so a test can assert a connection was (or was
+not) reused.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import urlencode, urlsplit
+
+from repro.errors import GatewayError
+
+#: Bytes read per socket recv while parsing a response.
+_CHUNK = 65536
+
+
+@dataclass
+class ClientResponse:
+    """One parsed HTTP response."""
+
+    status: int
+    reason: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    @property
+    def request_id(self) -> str:
+        return self.headers.get("x-request-id", "")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+class GatewayClient:
+    """Blocking keep-alive client for one gateway host:port.
+
+    Not thread-safe — one client per driving thread (each keeps its own
+    socket, which is the point: N clients == N server connections).
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._buffer = b""
+        #: Connections established so far (1 after the first request;
+        #: still 1 after N keep-alive requests).
+        self.connects = 0
+
+    @classmethod
+    def from_url(cls, url: str, timeout: float = 30.0) -> "GatewayClient":
+        """``http://host:port`` -> a client (the path part is ignored)."""
+        split = urlsplit(url if "//" in url else f"//{url}")
+        if split.scheme not in ("", "http"):
+            raise GatewayError(
+                f"only http:// gateway URLs are supported, got {url!r}")
+        if split.hostname is None:
+            raise GatewayError(f"no host in gateway URL {url!r}")
+        return cls(split.hostname, split.port or 80, timeout=timeout)
+
+    # -- connection management --------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.connects += 1
+        self._buffer = b""
+        return sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+        self._buffer = b""
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- requests ----------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                params: Mapping[str, Any] | None = None,
+                headers: Mapping[str, str] | None = None,
+                body: bytes = b"",
+                retry_on_stale: bool = True) -> ClientResponse:
+        """One request/response round trip on the persistent connection.
+
+        A keep-alive socket the server has since closed (idle timeout,
+        drain) surfaces as a send/recv error on the *next* request;
+        ``retry_on_stale`` transparently reconnects once in that case.
+        """
+        target = path
+        if params:
+            target = f"{path}?{urlencode(params)}"
+        lines = [
+            f"{method} {target} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+        ]
+        if body:
+            lines.append(f"Content-Length: {len(body)}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        raw = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+        head_only = method == "HEAD"
+        fresh = self._sock is None
+        try:
+            return self._round_trip(raw, head_only=head_only)
+        except (ConnectionError, BrokenPipeError, OSError):
+            self.close()
+            if fresh or not retry_on_stale:
+                raise
+            return self._round_trip(raw, head_only=head_only)
+
+    def get(self, path: str,
+            params: Mapping[str, Any] | None = None,
+            headers: Mapping[str, str] | None = None) -> ClientResponse:
+        return self.request("GET", path, params=params, headers=headers)
+
+    def send_raw(self, raw: bytes) -> ClientResponse:
+        """Ship arbitrary bytes (malformed-request tests)."""
+        return self._round_trip(raw)
+
+    def send_raw_nowait(self, raw: bytes) -> None:
+        """Ship bytes without reading a response (pipelining tests)."""
+        if self._sock is None:
+            self._sock = self._connect()
+        self._sock.sendall(raw)
+
+    def read_response(self, head_only: bool = False) -> ClientResponse:
+        """Read the next in-order response off the connection."""
+        response = self._read_response(head_only=head_only)
+        if not response.keep_alive:
+            self.close()
+        return response
+
+    def _round_trip(self, raw: bytes,
+                    head_only: bool = False) -> ClientResponse:
+        if self._sock is None:
+            self._sock = self._connect()
+        self._sock.sendall(raw)
+        response = self._read_response(head_only=head_only)
+        if not response.keep_alive:
+            self.close()
+        return response
+
+    # -- response parsing --------------------------------------------------
+
+    def _read_more(self) -> None:
+        assert self._sock is not None
+        chunk = self._sock.recv(_CHUNK)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        self._buffer += chunk
+
+    def _read_response(self, head_only: bool = False) -> ClientResponse:
+        while b"\r\n\r\n" not in self._buffer:
+            self._read_more()
+        head, _, self._buffer = self._buffer.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise GatewayError(f"malformed status line {lines[0]!r}")
+        status = int(parts[1])
+        reason = parts[2] if len(parts) == 3 else ""
+        response_headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        if head_only:  # HEAD: Content-Length describes the absent body
+            return ClientResponse(status=status, reason=reason,
+                                  headers=response_headers)
+        length = int(response_headers.get("content-length", "0"))
+        while len(self._buffer) < length:
+            self._read_more()
+        body, self._buffer = (self._buffer[:length],
+                              self._buffer[length:])
+        return ClientResponse(status=status, reason=reason,
+                              headers=response_headers, body=body)
+
+    # -- endpoint helpers --------------------------------------------------
+
+    def healthz(self) -> ClientResponse:
+        return self.get("/v1/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        response = self.get("/v1/stats")
+        if response.status != 200:
+            raise GatewayError(
+                f"/v1/stats returned {response.status}: "
+                f"{response.text[:200]}")
+        return response.json()
+
+    def metrics_text(self) -> str:
+        response = self.get("/v1/metrics")
+        if response.status != 200:
+            raise GatewayError(
+                f"/v1/metrics returned {response.status}")
+        return response.text
+
+    def search(self, engine: str, **params: Any) -> ClientResponse:
+        return self.get(f"/v1/search/{engine}", params=params)
+
+    def kg_search(self, query: str, **params: Any) -> ClientResponse:
+        return self.get("/v1/kg/search",
+                        params={"query": query, **params})

@@ -1,0 +1,536 @@
+"""The asyncio HTTP front end over one :class:`QueryService`.
+
+Architecture — a non-blocking I/O tier in front of a bounded worker
+tier, the shape production serving stacks use:
+
+* the **event loop** owns every socket and never computes an answer:
+  a parsed request is admitted by :meth:`QueryService.submit` (cache
+  claim, pricing, admission queue — all O(1) bookkeeping) and the
+  returned worker-pool future is awaited via ``asyncio.wrap_future``,
+  so admission control, single-flight caching, fan-out budgets, and
+  the AIMD width controller all apply unchanged behind the gateway;
+* each connection runs a **reader/writer pair**: the reader parses
+  pipelined requests and enqueues handler tasks onto a bounded queue
+  (``max_inflight_per_connection`` — when it fills, the reader simply
+  stops consuming the socket and TCP pushes back on the client); the
+  writer flushes responses strictly in request order, as HTTP/1.1
+  requires;
+* **overload degrades loudly, never silently**: connections past the
+  global cap get ``503`` + ``Retry-After`` and the shed is reported to
+  the load controller; admission-queue sheds surface as per-request
+  ``503`` bodies; a lapsed ``timeout_ms`` deadline is a ``504``.  No
+  path leaves a connection hanging without a response;
+* **graceful drain**: stop accepting, let in-flight requests finish
+  inside ``drain_seconds``, then cancel what remains (idle keep-alive
+  readers included).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import (
+    BadRequestError,
+    PayloadTooLargeError,
+    ServiceOverloadedError,
+)
+from repro.gateway.http import (
+    HEAD_TERMINATOR,
+    Request,
+    Response,
+    build_response,
+    parse_request_head,
+)
+from repro.gateway.routes import (
+    Endpoint,
+    error_payload,
+    error_response,
+    render_prometheus,
+    resolve,
+    serialize_served,
+    timeout_seconds,
+)
+from repro.serve.metrics import GatewayMetrics
+from repro.serve.service import GatewayConfig, QueryService
+
+logger = logging.getLogger("repro.gateway")
+access_logger = logging.getLogger("repro.gateway.access")
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for its in-order response slot."""
+
+    task: "asyncio.Task[Response]"
+    request: Request | None  # None for protocol errors (no valid request)
+    request_id: str
+    endpoint: str
+    started: float
+    keep_alive: bool
+    head_only: bool
+
+
+class Gateway:
+    """Serve one :class:`QueryService` over HTTP/1.1 keep-alive.
+
+    Create it on (or before) the event loop that will run it; ``start``
+    binds the socket, ``drain`` shuts down gracefully.  The CLI wraps
+    this in :func:`run_gateway`; tests and benchmarks use
+    :class:`BackgroundGateway` to host one on a side thread.
+    """
+
+    def __init__(self, service: QueryService,
+                 config: GatewayConfig | None = None) -> None:
+        self.service = service
+        self.config = config or service.config.gateway or GatewayConfig()
+        self.metrics = GatewayMetrics()
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._ids = itertools.count(1)
+        # readuntil() needs headroom past the header cap so the explicit
+        # size check (a clean 400) fires before the stream limit does.
+        self._stream_limit = max(self.config.max_header_bytes,
+                                 self.config.max_body_bytes) + 4096
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _next_request_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._ids):06x}"
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self._stream_limit,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("gateway listening on %s:%d",
+                    self.config.host, self.port)
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight work, then cancel the rest."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_seconds
+        while self.metrics.inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        leftovers = self.metrics.inflight
+        if leftovers:
+            logger.warning(
+                "drain deadline (%.1fs) passed with %d request(s) "
+                "in flight; cancelling", self.config.drain_seconds,
+                leftovers,
+            )
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        logger.info("gateway drained (%d request(s) cancelled)",
+                    leftovers)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        if self._draining or \
+                self.metrics.connections_open >= \
+                self.config.max_connections:
+            await self._shed_connection(writer)
+            return
+        self.metrics.connection_opened()
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        pending: "asyncio.Queue[_Pending | None]" = asyncio.Queue(
+            maxsize=self.config.max_inflight_per_connection,
+        )
+        write_task = asyncio.create_task(
+            self._write_loop(writer, pending))
+        try:
+            await self._read_loop(reader, pending)
+            # put() can wait on a full queue, but the writer is still
+            # consuming, so this always completes.
+            await pending.put(None)
+            await write_task
+        except asyncio.CancelledError:
+            # Drain cancelled this connection deliberately; the writer
+            # may be parked on a handler that will never finish inside
+            # the drain deadline — tear everything down, and complete
+            # normally so the streams machinery doesn't log the cancel.
+            write_task.cancel()
+            self._cancel_queued(pending)
+        except BaseException:
+            write_task.cancel()
+            self._cancel_queued(pending)
+            raise
+        finally:
+            self.metrics.connection_closed()
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+
+    async def _shed_connection(self,
+                               writer: asyncio.StreamWriter) -> None:
+        """Refuse a connection over the cap: 503 + Retry-After, close."""
+        self.metrics.connection_shed()
+        if self.service.loadctl is not None:
+            # Connection-level sheds are load signals too: give the
+            # AIMD controller the same nudge an admission shed would.
+            self.service.loadctl.on_shed()
+        request_id = self._next_request_id()
+        response = error_payload(
+            503, "too_many_connections",
+            "connection limit reached; retry shortly", request_id,
+        )
+        response.headers["Retry-After"] = str(
+            self.config.retry_after_seconds)
+        try:
+            writer.write(build_response(response, request_id=request_id,
+                                        keep_alive=False))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_loop(self, reader: asyncio.StreamReader,
+                         pending: "asyncio.Queue[_Pending | None]"
+                         ) -> None:
+        """Parse pipelined requests; enqueue one handler task each."""
+        while not self._draining:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(HEAD_TERMINATOR),
+                    timeout=self.config.idle_timeout_seconds,
+                )
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:
+                    await self._enqueue_protocol_error(
+                        pending, BadRequestError(
+                            "connection closed mid-request head"))
+                return
+            except asyncio.LimitOverrunError:
+                self.metrics.record_parse_error()
+                await self._enqueue_protocol_error(
+                    pending, BadRequestError(
+                        f"request head exceeds the "
+                        f"{self.config.max_header_bytes}-byte limit"))
+                return
+            except asyncio.TimeoutError:
+                return  # idle keep-alive connection: close quietly
+            except (ConnectionError, OSError):
+                return
+            try:
+                request = parse_request_head(
+                    head, self.config.max_header_bytes)
+                request.body = await self._read_body(reader, request)
+            except BadRequestError as exc:
+                self.metrics.record_parse_error()
+                await self._enqueue_protocol_error(pending, exc)
+                return
+            except PayloadTooLargeError as exc:
+                await self._enqueue_protocol_error(pending, exc)
+                return
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    OSError):
+                return
+            endpoint = resolve(request.path)
+            name = endpoint.name if endpoint is not None else "unknown"
+            request_id = self._next_request_id()
+            self.metrics.request_started(name)
+            task = asyncio.create_task(
+                self._handle_request(endpoint, request, request_id))
+            # Bounded: blocks when max_inflight_per_connection answers
+            # are outstanding, which stops socket reads — backpressure
+            # reaches the client as TCP flow control, not lost requests.
+            await pending.put(_Pending(
+                task=task, request=request, request_id=request_id,
+                endpoint=name, started=time.monotonic(),
+                keep_alive=request.keep_alive,
+                head_only=request.method == "HEAD",
+            ))
+            if not request.keep_alive:
+                return
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         request: Request) -> bytes:
+        length = request.content_length
+        if length == 0:
+            return b""
+        if length > self.config.max_body_bytes:
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit"
+            )
+        return await reader.readexactly(length)
+
+    @staticmethod
+    def _cancel_queued(
+            pending: "asyncio.Queue[_Pending | None]") -> None:
+        """Cancel handler tasks still waiting for their response slot."""
+        while True:
+            try:
+                item = pending.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if item is not None:
+                item.task.cancel()
+
+    async def _enqueue_protocol_error(
+            self, pending: "asyncio.Queue[_Pending | None]",
+            exc: BaseException) -> None:
+        """Answer a malformed request in-order, then close."""
+        request_id = self._next_request_id()
+        response = error_response(exc, request_id)
+        response.close = True
+
+        async def _ready() -> Response:
+            return response
+
+        self.metrics.request_started("malformed")
+        await pending.put(_Pending(
+            task=asyncio.create_task(_ready()), request=None,
+            request_id=request_id, endpoint="malformed",
+            started=time.monotonic(), keep_alive=False,
+            head_only=False,
+        ))
+
+    async def _write_loop(self, writer: asyncio.StreamWriter,
+                          pending: "asyncio.Queue[_Pending | None]"
+                          ) -> None:
+        """Flush responses in request order until the reader signals EOF.
+
+        Runs to the sentinel even when the socket breaks: every admitted
+        task must be awaited (so service work quiesces) and accounted
+        (so the in-flight gauge returns to zero).
+        """
+        broken = False
+        while True:
+            item = await pending.get()
+            if item is None:
+                return
+            response = await item.task  # handler never raises
+            status = response.status
+            if not broken:
+                data = build_response(
+                    response,
+                    request_id=item.request_id,
+                    keep_alive=(item.keep_alive and not response.close
+                                and not self._draining),
+                    head_only=item.head_only,
+                )
+                try:
+                    writer.write(data)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    broken = True
+            if broken:
+                status = 499  # client closed before the response went out
+            elapsed = time.monotonic() - item.started
+            self.metrics.request_finished(status, elapsed)
+            self._access_log(item, response, status, elapsed, writer)
+
+    def _access_log(self, item: _Pending, response: Response,
+                    status: int, elapsed: float,
+                    writer: asyncio.StreamWriter) -> None:
+        if not self.config.access_log:
+            return
+        peer = writer.get_extra_info("peername")
+        peer_text = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) \
+            else "-"
+        method = item.request.method if item.request else "-"
+        target = item.request.target if item.request else "-"
+        access_logger.info(
+            "request_id=%s peer=%s method=%s target=%s endpoint=%s "
+            "status=%d ms=%.2f",
+            item.request_id, peer_text, method, target, item.endpoint,
+            status, elapsed * 1000.0,
+        )
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_request(self, endpoint: Endpoint | None,
+                              request: Request,
+                              request_id: str) -> Response:
+        """Answer one routed request; every failure becomes a response."""
+        try:
+            if endpoint is None:
+                return error_payload(
+                    404, "not_found",
+                    f"no route for {request.path!r}", request_id,
+                )
+            if endpoint.engine is None:
+                return self._local_endpoint(endpoint, request_id)
+            params = endpoint.params(request)
+            timeout = timeout_seconds(
+                request, self.config.default_timeout_ms)
+            future = self.service.submit(
+                endpoint.engine, timeout_seconds=timeout, **params)
+            served = await asyncio.wrap_future(future)
+            return Response(payload=serialize_served(served, request_id))
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - becomes the body
+            response = error_response(exc, request_id)
+            if isinstance(exc, ServiceOverloadedError):
+                response.headers["Retry-After"] = str(
+                    self.config.retry_after_seconds)
+            return response
+
+    def _local_endpoint(self, endpoint: Endpoint,
+                        request_id: str) -> Response:
+        """Endpoints answered on the loop without touching the pool."""
+        if endpoint.name == "healthz":
+            if self._draining:
+                return Response(status=503,
+                                payload={"status": "draining"},
+                                close=True)
+            return Response(payload={"status": "ok"})
+        if endpoint.name == "stats":
+            return Response(payload={
+                "gateway": self.metrics.snapshot(),
+                "service": self.service.stats(),
+            })
+        # metrics: Prometheus text exposition.
+        text = render_prometheus(self.service.stats(),
+                                 self.metrics.snapshot())
+        return Response(
+            text=text,
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+
+def run_gateway(service: QueryService,
+                config: GatewayConfig | None = None,
+                ready: Any = None) -> int:
+    """Blocking entry point for the CLI: serve until SIGTERM/SIGINT.
+
+    Prints the bound address (flushes, so wrappers waiting for
+    readiness can line-buffer), then serves until a termination signal
+    arrives and drains gracefully.  ``ready``, when given, is called
+    with the bound port once the socket is listening (used by tests).
+    """
+
+    async def _main() -> None:
+        gateway = Gateway(service, config)
+        await gateway.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread / platform without signals
+        print(f"gateway listening on "
+              f"http://{gateway.config.host}:{gateway.port}",
+              flush=True)
+        if ready is not None:
+            ready(gateway.port)
+        await stop.wait()
+        print("gateway draining ...", flush=True)
+        await gateway.drain()
+
+    asyncio.run(_main())
+    print("gateway stopped", flush=True)
+    return 0
+
+
+class BackgroundGateway:
+    """Host a :class:`Gateway` on a private loop in a daemon thread.
+
+    The harness tests and benchmarks use to stand a real socket server
+    up next to synchronous client code::
+
+        with BackgroundGateway(service) as gw:
+            client = GatewayClient("127.0.0.1", gw.port)
+            ...
+
+    Exiting the context drains the gateway and joins the thread.
+    """
+
+    def __init__(self, service: QueryService,
+                 config: GatewayConfig | None = None) -> None:
+        if config is None:
+            config = service.config.gateway or GatewayConfig(port=0)
+        self.gateway = Gateway(service, config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.gateway.port is not None
+        return self.gateway.port
+
+    def start(self) -> "BackgroundGateway":
+        self._thread = threading.Thread(
+            target=self._run, name="gateway-loop", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._error is not None:
+            raise self._error
+        if self.gateway.port is None:
+            raise RuntimeError("gateway failed to start within 10s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            try:
+                loop.run_until_complete(self.gateway.start())
+            except BaseException as exc:  # noqa: BLE001 - re-raised in start()
+                self._error = exc
+                return
+            finally:
+                self._started.set()
+            loop.run_forever()
+            # Drain was scheduled by stop(); run_forever returned after
+            # loop.stop() — finish any callbacks it left behind.
+            loop.run_until_complete(asyncio.sleep(0))
+        finally:
+            loop.close()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop = self._loop
+        thread = self._thread
+        if loop is None or thread is None or not thread.is_alive():
+            return
+        drained = asyncio.run_coroutine_threadsafe(
+            self.gateway.drain(), loop)
+        try:
+            drained.result(timeout=timeout)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

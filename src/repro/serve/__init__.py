@@ -17,9 +17,14 @@ from repro.serve.cache import (
     request_key,
 )
 from repro.serve.loadctl import LoadControlConfig, LoadController
-from repro.serve.metrics import LatencyHistogram, ServiceMetrics
+from repro.serve.metrics import (
+    GatewayMetrics,
+    LatencyHistogram,
+    ServiceMetrics,
+)
 from repro.serve.service import (
     ENGINES,
+    GatewayConfig,
     QueryService,
     ServeConfig,
     ServedResult,
@@ -29,6 +34,8 @@ __all__ = [
     "ENGINES",
     "CacheStats",
     "Flight",
+    "GatewayConfig",
+    "GatewayMetrics",
     "LatencyHistogram",
     "LoadControlConfig",
     "LoadController",

@@ -93,6 +93,81 @@ class LatencyHistogram:
         return result
 
 
+class GatewayMetrics:
+    """Connection gauges and per-endpoint counters for the HTTP gateway.
+
+    The gateway's event loop is single-threaded, but ``/v1/stats`` may
+    be rendered while a drain poll or a CLI thread reads the same
+    counters, so every update and the snapshot go through one lock —
+    the same consistency rule :class:`ServiceMetrics` follows.
+    """
+
+    def __init__(self, histogram_capacity: int = 2048) -> None:
+        self._lock = racecheck.make_lock("serve.metrics.gateway")
+        self.connections_open = 0
+        self.connections_peak = 0
+        self.connections_total = 0
+        #: Connections refused at the global cap (503 + ``Retry-After``).
+        self.connections_shed = 0
+        self.requests_inflight = 0
+        self.requests: Counter[str] = Counter()
+        self.responses: Counter[int] = Counter()
+        self.parse_errors = 0
+        self.latency = LatencyHistogram(histogram_capacity)
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_open += 1
+            self.connections_total += 1
+            if self.connections_open > self.connections_peak:
+                self.connections_peak = self.connections_open
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.connections_open -= 1
+
+    def connection_shed(self) -> None:
+        with self._lock:
+            self.connections_shed += 1
+
+    def request_started(self, endpoint: str) -> None:
+        with self._lock:
+            self.requests_inflight += 1
+            self.requests[endpoint] += 1
+
+    def request_finished(self, status: int, seconds: float) -> None:
+        with self._lock:
+            self.requests_inflight -= 1
+            self.responses[status] += 1
+        self.latency.observe(seconds)
+
+    def record_parse_error(self) -> None:
+        with self._lock:
+            self.parse_errors += 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self.requests_inflight
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "connections": {
+                    "open": self.connections_open,
+                    "peak": self.connections_peak,
+                    "total": self.connections_total,
+                    "shed": self.connections_shed,
+                },
+                "requests_inflight": self.requests_inflight,
+                "requests": dict(self.requests),
+                "responses": {str(status): count for status, count
+                              in sorted(self.responses.items())},
+                "parse_errors": self.parse_errors,
+                "latency": self.latency.snapshot(),
+            }
+
+
 class ServiceMetrics:
     """All counters/histograms for one :class:`QueryService`."""
 

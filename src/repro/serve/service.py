@@ -65,6 +65,42 @@ ENGINES = ("all_fields", "title_abstract", "table", "kg", "meta_profile")
 
 
 @dataclass
+class GatewayConfig:
+    """HTTP front-end knobs (see :mod:`repro.gateway`).
+
+    Defined here (rather than in ``repro.gateway``) so ``ServeConfig``
+    can carry one without the serve package importing the gateway — the
+    dependency points gateway → serve only.
+    """
+
+    host: str = "127.0.0.1"
+    #: ``0`` binds an ephemeral port (read it back from ``Gateway.port``).
+    port: int = 8080
+    #: Connections past this cap are answered ``503`` + ``Retry-After``
+    #: and closed; the shed is reported to the load controller.
+    max_connections: int = 1024
+    #: Pipelined requests a single connection may have outstanding; the
+    #: reader stops consuming the socket (TCP backpressure) at the cap.
+    max_inflight_per_connection: int = 8
+    #: Request line + headers may not exceed this many bytes (400).
+    max_header_bytes: int = 16384
+    #: Request bodies past this are rejected with ``413``.
+    max_body_bytes: int = 65536
+    #: Keep-alive connections idle past this are closed.
+    idle_timeout_seconds: float = 75.0
+    #: Graceful drain: in-flight requests get this long to finish after
+    #: shutdown is requested; stragglers are cancelled.
+    drain_seconds: float = 5.0
+    #: ``Retry-After`` value (seconds) sent with connection-cap 503s.
+    retry_after_seconds: int = 1
+    #: Default per-request deadline when the client sends no
+    #: ``timeout_ms`` (``None``: inherit ``ServeConfig`` semantics).
+    default_timeout_ms: float | None = None
+    #: Emit one structured access-log line per request.
+    access_log: bool = True
+
+
+@dataclass
 class ServeConfig:
     """Serving-tier knobs (sized for a laptop; scale up per host)."""
 
@@ -88,6 +124,10 @@ class ServeConfig:
     #: Adaptive load control (fan-out budgets sized by an AIMD width
     #: controller).  ``None`` keeps the fixed-width behaviour.
     load_control: LoadControlConfig | None = None
+    #: HTTP front-end knobs consumed by :class:`repro.gateway.Gateway`
+    #: when this service is exposed over the network.  ``None`` uses
+    #: the gateway defaults; the in-process tier ignores it entirely.
+    gateway: GatewayConfig | None = None
 
 
 @dataclass

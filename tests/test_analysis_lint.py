@@ -104,6 +104,14 @@ registry.register("rank", rank)
 def gather(futures):
     return [future.result() for future in futures]
 """,
+    "REP206": """
+import time
+
+
+async def handler(request):
+    time.sleep(0.1)
+    return request
+""",
 }
 
 CLEAN_FIXTURE = """
@@ -184,6 +192,55 @@ def gather(futures):
     return [future.result() for future in futures]
 """
     assert [f.rule for f in _lint_text(text)] == ["REP205"]
+
+
+def test_rep206_awaited_calls_and_async_primitives_are_clean():
+    text = """
+import asyncio
+
+
+async def handler(reader, future):
+    await asyncio.sleep(0.1)
+    served = await asyncio.wrap_future(future)
+    head = await asyncio.wait_for(reader.readuntil(b"x"), timeout=1.0)
+    return served, head
+"""
+    assert _lint_text(text) == []
+
+
+def test_rep206_nested_sync_def_is_not_the_event_loop():
+    # A sync helper defined inside an async function runs wherever it
+    # is *called* — typically an executor thread — so its body is not
+    # the event loop's problem.
+    text = """
+import time
+
+
+async def handler(loop):
+    def blocking():
+        time.sleep(0.5)
+        return 1
+
+    return await loop.run_in_executor(None, blocking)
+"""
+    assert _lint_text(text) == []
+
+
+def test_rep206_flags_future_result_in_async_body():
+    text = """
+async def handler(future):
+    return future.result()
+"""
+    assert [f.rule for f in _lint_text(text)] == ["REP206"]
+
+
+def test_rep206_flags_sync_socket_ops_in_async_body():
+    text = """
+async def proxy(sock):
+    sock.sendall(b"hello")
+    return sock.recv(1024)
+"""
+    assert [f.rule for f in _lint_text(text)] == ["REP206", "REP206"]
 
 
 def test_rep205_flags_explicit_for_loops_too():

@@ -1,0 +1,429 @@
+"""End-to-end tests for the asyncio HTTP gateway.
+
+Every test here talks to a real socket on an ephemeral port via
+:class:`BackgroundGateway` + the stdlib :class:`GatewayClient` — no
+mocked transports — so keep-alive reuse, backpressure, overload
+shedding, and graceful drain are exercised exactly as a deployment
+would see them.  The suite also runs under ``REPRO_RACECHECK=1`` in CI
+(the gateway metrics and the serving tier share instrumented locks).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.errors import ReproError
+from repro.gateway import (
+    ERROR_STATUS,
+    BackgroundGateway,
+    GatewayClient,
+    all_error_classes,
+    map_error,
+)
+from repro.serve.loadctl import LoadControlConfig
+from repro.serve.service import GatewayConfig, QueryService, ServeConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _corpus(seed, count):
+    return CorpusGenerator(GeneratorConfig(
+        seed=seed, papers_per_week=15, tables_per_paper=(1, 2),
+    )).papers(count)
+
+
+def _page_ids(results):
+    return [hit.paper_id for hit in results]
+
+
+@pytest.fixture(scope="module")
+def system():
+    kg = CovidKG(CovidKGConfig(num_shards=2))
+    kg.ingest(_corpus(53, 24))
+    return kg
+
+
+@pytest.fixture(scope="module")
+def gateway(system):
+    with QueryService(system, ServeConfig(num_workers=2)) as service:
+        with BackgroundGateway(service) as gw:
+            yield gw
+
+
+@pytest.fixture()
+def client(gateway):
+    with GatewayClient("127.0.0.1", gateway.port) as cl:
+        yield cl
+
+
+def _slow_dispatch(delay):
+    def dispatch(query, page=1):
+        time.sleep(delay)
+        return {"query": query, "page": page}
+    return dispatch
+
+
+class _SlowHarness:
+    """A gateway over a deliberately tiny, slow service."""
+
+    def __init__(self, system, *, delay=0.3, num_workers=1,
+                 max_queue=8, gateway_config=None, load_control=None):
+        self.service = QueryService(system, ServeConfig(
+            num_workers=num_workers, max_queue=max_queue,
+            load_control=load_control,
+        ))
+        self.service._dispatch["all_fields"] = _slow_dispatch(delay)
+        self.gw = BackgroundGateway(self.service, gateway_config)
+
+    def __enter__(self):
+        self.gw.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        try:
+            self.gw.stop()
+        finally:
+            self.service.close()
+
+    @property
+    def port(self):
+        return self.gw.port
+
+
+def _get_in_thread(port, path, params=None, timeout=30.0):
+    """Run one GET on its own connection in a thread; join for result."""
+    box = {}
+
+    def run():
+        try:
+            with GatewayClient("127.0.0.1", port,
+                               timeout=timeout) as cl:
+                box["response"] = cl.get(path, params=params)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via box
+            box["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread, box
+
+
+# -- routing ---------------------------------------------------------------
+
+class TestRouting:
+    def test_healthz(self, client):
+        response = client.healthz()
+        assert response.status == 200
+        assert response.json() == {"status": "ok"}
+        assert response.request_id
+
+    def test_head_healthz_has_headers_but_no_body(self, client):
+        response = client.request("HEAD", "/v1/healthz")
+        assert response.status == 200
+        assert int(response.headers["content-length"]) > 0
+        assert response.body == b""
+
+    def test_all_fields_matches_direct(self, client, system):
+        direct = system.search("vaccine side effects", page=1)
+        response = client.search("all_fields",
+                                 query="vaccine side effects", page=1)
+        assert response.status == 200
+        payload = response.json()
+        assert payload["engine"] == "all_fields"
+        served_ids = [hit["paper_id"] for hit in
+                      payload["value"]["results"]]
+        assert served_ids == _page_ids(direct)
+        assert payload["value"]["total_matches"] == \
+            direct.total_matches
+
+    def test_title_abstract_matches_direct(self, client, system):
+        direct = system.search_fields(abstract="vaccine")
+        response = client.search("title_abstract", abstract="vaccine")
+        assert response.status == 200
+        served_ids = [hit["paper_id"] for hit in
+                      response.json()["value"]["results"]]
+        assert served_ids == _page_ids(direct)
+
+    def test_table_matches_direct(self, client, system):
+        direct = system.search_tables("dosage")
+        response = client.search("table", query="dosage")
+        assert response.status == 200
+        served_ids = [hit["paper_id"] for hit in
+                      response.json()["value"]["results"]]
+        assert served_ids == _page_ids(direct)
+
+    def test_kg_matches_direct(self, client, system):
+        direct = system.search_graph("side effects", top_k=5)
+        response = client.kg_search("side effects", top_k=5)
+        assert response.status == 200
+        served = response.json()["value"]
+        assert [hit["label"] for hit in served] == \
+            [hit.node.label for hit in direct]
+
+    def test_repeat_query_is_served_from_cache(self, client):
+        cold = client.search("all_fields", query="quarantine policy")
+        warm = client.search("all_fields", query="quarantine policy")
+        assert cold.status == warm.status == 200
+        assert warm.json()["cached"]
+
+    def test_keep_alive_reuses_one_connection(self, gateway):
+        with GatewayClient("127.0.0.1", gateway.port) as cl:
+            for _ in range(5):
+                assert cl.healthz().status == 200
+            assert cl.search("all_fields", query="covid").status == 200
+            assert cl.connects == 1
+
+    def test_pipelined_requests_answered_in_order(self, client):
+        raw = (b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+               b"GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n")
+        client.send_raw_nowait(raw)
+        first = client.read_response()
+        second = client.read_response()
+        assert first.json() == {"status": "ok"}
+        assert "gateway" in second.json()
+
+    def test_stats_nests_gateway_and_service(self, client):
+        client.healthz()
+        stats = client.stats()
+        assert stats["gateway"]["requests"]["healthz"] >= 1
+        assert stats["gateway"]["connections"]["open"] >= 1
+        assert "requests" in stats["service"]
+        assert "cache" in stats["service"]
+
+    def test_metrics_exposition(self, client):
+        client.search("all_fields", query="covid")
+        text = client.metrics_text()
+        assert "# TYPE covidkg_gateway_connections_open gauge" in text
+        assert "covidkg_gateway_requests_total" in text
+        assert 'endpoint="search.all_fields"' in text
+        assert "covidkg_service_shed_total" in text
+        assert "covidkg_admission_effective_width" in text
+
+    def test_serve_stats_cli_reads_a_live_gateway(self, gateway,
+                                                  capsys):
+        from repro.cli import main
+        rc = main(["serve-stats",
+                   "--url", f"http://127.0.0.1:{gateway.port}"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "gateway.requests.healthz" in captured.out
+        assert "service.cache" in captured.out
+
+
+# -- protocol and validation errors ----------------------------------------
+
+class TestProtocolErrors:
+    def test_unknown_route_is_404(self, client):
+        response = client.get("/v1/nope")
+        assert response.status == 404
+        error = response.json()["error"]
+        assert error["code"] == "not_found"
+        assert error["request_id"] == response.request_id
+
+    def test_missing_required_param_is_400(self, client):
+        response = client.get("/v1/search/all_fields")
+        assert response.status == 400
+        assert response.json()["error"]["code"] == "bad_request"
+
+    def test_invalid_page_is_400(self, client):
+        response = client.search("all_fields", query="covid",
+                                 page="minus one")
+        assert response.status == 400
+
+    def test_malformed_request_line_is_400_and_closes(self, client):
+        response = client.send_raw(b"NONSENSE\r\n\r\n")
+        assert response.status == 400
+        assert not response.keep_alive
+        assert response.json()["error"]["code"] == "bad_request"
+
+    def test_unsupported_method_is_400(self, client):
+        response = client.send_raw(b"BREW /v1/healthz HTTP/1.1\r\n"
+                                   b"Host: x\r\n\r\n")
+        assert response.status == 400
+
+    def test_oversized_header_is_400(self, client):
+        padding = "x" * 20_000  # default max_header_bytes is 16 KiB
+        response = client.get("/v1/healthz",
+                              headers={"X-Padding": padding})
+        assert response.status == 400
+        assert not response.keep_alive
+
+    def test_oversized_body_is_413(self, client):
+        # Announce a body far past max_body_bytes without sending it:
+        # the gateway must answer from the headers alone.
+        response = client.send_raw(
+            b"POST /v1/healthz HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 1000000\r\n\r\n")
+        assert response.status == 413
+        assert response.json()["error"]["code"] == "request_too_large"
+
+    def test_bad_timeout_param_is_400(self, client):
+        response = client.search("all_fields", query="covid",
+                                 timeout_ms=-5)
+        assert response.status == 400
+
+
+# -- overload, deadlines, and loop responsiveness --------------------------
+
+class TestOverload:
+    def test_saturated_admission_queue_sheds_503(self, system):
+        with _SlowHarness(system, delay=0.6, num_workers=1,
+                          max_queue=1) as harness:
+            # Staggered so the worker pops slow-0 before slow-1
+            # arrives: slow-0 occupies the worker, slow-1 the queue ...
+            threads = []
+            for i in range(2):
+                threads.append(_get_in_thread(
+                    harness.port, "/v1/search/all_fields",
+                    {"query": f"slow {i}"}))
+                time.sleep(0.12)
+            # ... so this submit is shed synchronously with a 503.
+            with GatewayClient("127.0.0.1", harness.port) as cl:
+                started = time.monotonic()
+                shed = cl.search("all_fields", query="shed me")
+                elapsed = time.monotonic() - started
+            assert shed.status == 503
+            assert shed.json()["error"]["code"] == "service_overloaded"
+            assert "retry-after" in shed.headers
+            assert elapsed < 0.3, "sheds must be immediate, not hung"
+            for thread, box in threads:
+                thread.join(timeout=10.0)
+                assert box["response"].status == 200
+
+    def test_connection_cap_sheds_and_feeds_load_control(self, system):
+        config = GatewayConfig(port=0, max_connections=1)
+        with _SlowHarness(system, gateway_config=config,
+                          load_control=LoadControlConfig()) as harness:
+            with GatewayClient("127.0.0.1", harness.port) as first:
+                assert first.healthz().status == 200  # holds the slot
+                with GatewayClient("127.0.0.1",
+                                   harness.port) as second:
+                    shed = second.healthz()
+                assert shed.status == 503
+                assert shed.json()["error"]["code"] == \
+                    "too_many_connections"
+                assert "retry-after" in shed.headers
+                assert not shed.keep_alive
+            control = harness.service.stats()["load_control"]
+            assert control["shed_shrinks"] + \
+                control["sheds_at_floor"] >= 1
+            gw_stats = harness.gw.gateway.metrics.snapshot()
+            assert gw_stats["connections"]["shed"] == 1
+
+    def test_deadline_lapsed_in_queue_is_504(self, system):
+        with _SlowHarness(system, delay=0.5,
+                          num_workers=1) as harness:
+            thread, box = _get_in_thread(
+                harness.port, "/v1/search/all_fields",
+                {"query": "slow occupant"})
+            time.sleep(0.15)
+            # Queued behind a 0.5s request with a 50ms budget: the
+            # deadline lapses before a worker ever picks it up.
+            with GatewayClient("127.0.0.1", harness.port) as cl:
+                late = cl.search("all_fields", query="impatient",
+                                 timeout_ms=50)
+            assert late.status == 504
+            assert late.json()["error"]["code"] == "deadline_exceeded"
+            thread.join(timeout=10.0)
+            assert box["response"].status == 200
+
+    def test_timeout_header_is_equivalent_to_the_param(self, system):
+        with _SlowHarness(system, delay=0.5,
+                          num_workers=1) as harness:
+            thread, box = _get_in_thread(
+                harness.port, "/v1/search/all_fields",
+                {"query": "slow occupant"})
+            time.sleep(0.15)
+            with GatewayClient("127.0.0.1", harness.port) as cl:
+                late = cl.get("/v1/search/all_fields",
+                              params={"query": "impatient header"},
+                              headers={"X-Timeout-Ms": "50"})
+            assert late.status == 504
+            thread.join(timeout=10.0)
+            assert box["response"].status == 200
+
+    def test_slow_fanout_does_not_delay_healthz(self, system):
+        """The acceptance criterion: the loop never blocks, so another
+        connection's health probe answers while a slow request runs."""
+        with _SlowHarness(system, delay=0.6,
+                          num_workers=1) as harness:
+            thread, box = _get_in_thread(
+                harness.port, "/v1/search/all_fields",
+                {"query": "slow fanout"})
+            time.sleep(0.1)
+            with GatewayClient("127.0.0.1", harness.port) as probe:
+                for _ in range(3):
+                    started = time.monotonic()
+                    response = probe.healthz()
+                    elapsed = time.monotonic() - started
+                    assert response.status == 200
+                    assert elapsed < 0.25, (
+                        f"healthz took {elapsed:.3f}s behind a slow "
+                        f"fan-out — the event loop blocked")
+            thread.join(timeout=10.0)
+            assert box["response"].status == 200
+
+
+# -- graceful drain --------------------------------------------------------
+
+class TestDrain:
+    def test_drain_finishes_inflight_then_refuses_new_work(self, system):
+        with _SlowHarness(system, delay=0.4,
+                          num_workers=1) as harness:
+            port = harness.port
+            thread, box = _get_in_thread(
+                port, "/v1/search/all_fields", {"query": "mid drain"})
+            time.sleep(0.1)
+            harness.gw.stop()  # drain: must deliver the response first
+            thread.join(timeout=10.0)
+            assert "error" not in box, box.get("error")
+            response = box["response"]
+            assert response.status == 200
+            assert not response.keep_alive, \
+                "a draining gateway must not promise keep-alive"
+        with pytest.raises(OSError):
+            with GatewayClient("127.0.0.1", port) as cl:
+                cl.request("GET", "/v1/healthz", retry_on_stale=False)
+
+
+# -- error mapping ---------------------------------------------------------
+
+class TestErrorMapping:
+    def test_mapping_is_exhaustive(self):
+        """Every repro error class has an explicit HTTP mapping, so a
+        newly added error type can never fall through to a bare 500."""
+        missing = [cls.__name__ for cls in all_error_classes()
+                   if cls not in ERROR_STATUS]
+        assert missing == [], (
+            f"add explicit ERROR_STATUS entries for: {missing}")
+
+    def test_subclasses_inherit_via_mro(self):
+        class FlakyShard(ReproError):
+            pass
+
+        assert map_error(FlakyShard("boom")) == \
+            ERROR_STATUS[ReproError]
+
+    def test_unknown_exceptions_default_to_internal(self):
+        assert map_error(ValueError("nope")) == (500, "internal")
+
+    def test_statuses_are_plausible_http(self):
+        for cls, (status, code) in ERROR_STATUS.items():
+            assert 400 <= status <= 599, (cls, status)
+            assert code and code == code.lower(), (cls, code)
+
+
+# -- static analysis -------------------------------------------------------
+
+def test_gateway_package_has_no_blocking_async_findings():
+    """REP206 (blocking call in ``async def``) over the gateway code:
+    the subsystem that motivated the rule must itself be clean."""
+    from repro.analysis.lint import lint_paths
+    findings = lint_paths(
+        [REPO_ROOT / "src" / "repro" / "gateway"], root=REPO_ROOT)
+    assert findings == [], "\n".join(str(f) for f in findings)
