@@ -1,0 +1,162 @@
+"""E19 — declarative KG queries: cache economics and traversal latency.
+
+PR 6 adds KGQL (``repro.kgql``) and serves it as the ``kg_query``
+engine.  Two claims are worth numbers:
+
+* the serving tier's normalized-query result cache should dominate
+  repeat-query cost — a warm identical query must be far cheaper than
+  a cold one (the cold path re-plans and re-walks the graph because
+  every request is preceded by a ``touch()``-style invalidation);
+* a 3-hop bounded traversal over a few-thousand-node graph must stay
+  interactive (the front end issues these per click), measured as p95
+  engine latency.
+
+Emits ``BENCH_e19_kgql.json``.  CI runs a reduced shape via the
+``E19_*`` env knobs.
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+from benchlib import print_table
+
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.kg.graph import KnowledgeGraph
+from repro.kgql import KGQLEngine
+from repro.serve.service import QueryService, ServeConfig
+
+NODES = int(os.environ.get("E19_NODES", "2000"))
+REQUESTS = int(os.environ.get("E19_REQUESTS", "200"))
+HOP_SAMPLES = int(os.environ.get("E19_HOP_SAMPLES", "60"))
+
+THREE_HOP_QUERY = (
+    'MATCH (v:"Vaccines")-[parent_of*1..3]->(e) '
+    'WHERE e.papers >= 0 RETURN e LIMIT 20'
+)
+
+RESULTS = {
+    "experiment": "e19_kgql",
+    "nodes": NODES,
+    "requests": REQUESTS,
+    "hop_samples": HOP_SAMPLES,
+    "query": THREE_HOP_QUERY,
+    "scenarios": {},
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_json():
+    yield
+    RESULTS["written_at"] = time.time()
+    path = os.path.join(os.environ.get("BENCH_DIR", "."),
+                        "BENCH_e19_kgql.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(RESULTS, handle, indent=2)
+    print(f"\nwrote {path}")
+
+
+def _percentile(values, fraction):
+    if not values:
+        return None
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1,
+                       int(round(fraction * (len(ordered) - 1))))]
+
+
+def _synthetic_graph(size, seed=19):
+    """A bushy ~``size``-node KG with label collisions + provenance."""
+    rng = random.Random(seed)
+    graph = KnowledgeGraph("COVID-19")
+    hub = graph.add_node("Vaccines", category="vaccines")
+    labels = ["Side-effects", "Fever", "Dosage", "Fatigue", "Masks",
+              "Trial", "Variant", "Headache"]
+    ids = [hub]
+    for index in range(size - 2):
+        parent = rng.choice(ids[-64:])  # recent-biased: moderate depth
+        node_id = graph.add_node(
+            f"{rng.choice(labels)} {index % 97}",
+            parent_id=parent,
+            category=rng.choice(["side_effects", "symptoms", None]),
+        )
+        if index % 3 == 0:
+            graph.node(node_id).add_provenance(f"paper-{index % 211}")
+        ids.append(node_id)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def system():
+    kg = CovidKG(CovidKGConfig(num_shards=2))
+    kg.graph = _synthetic_graph(NODES)
+    kg.kg_search.graph = kg.graph
+    kg.kgql = KGQLEngine(kg.graph)
+    return kg
+
+
+def test_e19_kgql_cache_and_traversal(system):
+    # -- 3-hop traversal latency, engine only (no serving tier) --------
+    engine = system.kgql
+    hop_seconds = []
+    for _ in range(HOP_SAMPLES):
+        started = time.perf_counter()
+        result = engine.query(THREE_HOP_QUERY)
+        hop_seconds.append(time.perf_counter() - started)
+    assert result.total_matches > 0
+    hop_p95 = _percentile(hop_seconds, 0.95)
+
+    # -- cold vs warm throughput through the serving tier --------------
+    with QueryService(system, ServeConfig(num_workers=2)) as service:
+        started = time.perf_counter()
+        for _ in range(REQUESTS):
+            system.graph.touch()  # invalidate: every request recomputes
+            served = service.query("kg_query", query=THREE_HOP_QUERY)
+            assert not served.cached
+        cold_seconds = time.perf_counter() - started
+
+        service.query("kg_query", query=THREE_HOP_QUERY)  # prime
+        started = time.perf_counter()
+        for _ in range(REQUESTS):
+            served = service.query("kg_query", query=THREE_HOP_QUERY)
+            assert served.cached
+        warm_seconds = time.perf_counter() - started
+
+    cold_rps = REQUESTS / cold_seconds
+    warm_rps = REQUESTS / warm_seconds
+    RESULTS["scenarios"] = {
+        "three_hop": {
+            "samples": HOP_SAMPLES,
+            "p50_s": _percentile(hop_seconds, 0.50),
+            "p95_s": hop_p95,
+            "total_matches": result.total_matches,
+        },
+        "serving": {
+            "requests": REQUESTS,
+            "cold_rps": cold_rps,
+            "warm_rps": warm_rps,
+            "speedup": warm_rps / cold_rps,
+        },
+    }
+
+    print_table(
+        "E19: KGQL traversal latency and cache economics",
+        ["nodes", "3-hop p95 ms", "cold rps", "warm rps", "speedup"],
+        [[
+            NODES,
+            f"{hop_p95 * 1e3:.2f}",
+            f"{cold_rps:.0f}",
+            f"{warm_rps:.0f}",
+            f"{warm_rps / cold_rps:.1f}x",
+        ]],
+        note=f"{result.total_matches} matches per query; cold = "
+             f"version-invalidated before every request",
+    )
+
+    # Cache economics: a warm identical query must beat the cold path
+    # by a wide margin, and the traversal itself must stay interactive.
+    assert warm_rps > 2.0 * cold_rps, (
+        f"warm {warm_rps:.0f} rps vs cold {cold_rps:.0f} rps"
+    )
+    assert hop_p95 < 1.0, f"3-hop p95 {hop_p95:.3f}s not interactive"

@@ -38,6 +38,7 @@ from repro.kg.metaprofile import MetaProfile, build_side_effect_profile
 from repro.kg.ontology import seed_covid_graph
 from repro.kg.review import ExpertReviewQueue
 from repro.kg.search import KGSearchEngine, KGSearchHit
+from repro.kgql import KGQLEngine, KGQLResult
 from repro.search.all_fields import AllFieldsEngine
 from repro.search.engine import SearchResults
 from repro.search.table_search import TableSearchEngine
@@ -115,6 +116,8 @@ class CovidKG:
                                    review_queue=self.review_queue)
         self.enrichment = EnrichmentPipeline(self.fusion)
         self.kg_search = KGSearchEngine(self.graph)
+        # Declarative graph queries (KGQL + the NL template front end).
+        self.kgql = KGQLEngine(self.graph)
         # №11/№13: released models.
         self.registry = ModelRegistry()
         self.vocabulary: Vocabulary | None = None
@@ -275,6 +278,20 @@ class CovidKG:
     def search_graph(self, query: str, top_k: int = 10
                      ) -> list[KGSearchHit]:
         return self.kg_search.search(query, top_k=top_k)
+
+    def query_graph(self, query: str, nl: bool = False) -> KGQLResult:
+        """Run a declarative KGQL query (or, with ``nl=True``, a
+        natural-language question) over the knowledge graph.
+
+        Every result row carries provenance: the supporting paper ids
+        and the rendered root path per returned node.
+        """
+        return self.kgql.query(query, nl=nl)
+
+    def explain_graph_query(self, query: str,
+                            nl: bool = False) -> dict[str, Any]:
+        """The KGQL logical plan + admission cost, without executing."""
+        return self.kgql.explain(query, nl=nl)
 
     def meta_profile(self, papers: list[dict[str, Any]] | None = None
                      ) -> MetaProfile:

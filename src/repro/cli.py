@@ -7,6 +7,7 @@ Subcommands:
 * ``search``    — all-fields search against a saved system
 * ``tables``    — table search against a saved system
 * ``kg``          — knowledge-graph search with path highlighting
+* ``kg-query``    — declarative KGQL / natural-language graph queries
 * ``stats``       — system dashboard
 * ``bias``        — run the bias interrogation
 * ``serve-stats`` — drive queries through the serving tier, print metrics
@@ -93,6 +94,30 @@ def _cmd_kg(args: argparse.Namespace) -> int:
         papers = f" ({len(hit.papers)} papers)" if hit.papers else ""
         print(f"  {hit.rendered_path()}{papers}")
     return 0
+
+
+def _cmd_kg_query(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    if args.explain:
+        explained = system.explain_graph_query(args.query, nl=args.nl)
+        print(f"query: {explained['query']}")
+        print(explained["plan"])
+        print(f"estimated cost: {explained['estimated_cost']:.0f} "
+              f"work units")
+        return 0
+    result = system.query_graph(args.query, nl=args.nl)
+    if args.nl:
+        print(f"kgql: {result.query}")
+    shown = len(result.rows)
+    print(f"{result.total_matches} matches "
+          f"(showing {shown}, {result.seconds * 1000:.1f} ms)")
+    for row in result.rows:
+        for var in result.columns:
+            node = row.bindings[var]
+            print(f"  {var}: {node['rendered_path']}")
+        if row.papers:
+            print(f"      papers: {', '.join(row.papers)}")
+    return 0 if result.rows else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -287,6 +312,20 @@ def build_parser() -> argparse.ArgumentParser:
     kg.add_argument("--top", type=int, default=10)
     kg.add_argument("query")
     kg.set_defaults(func=_cmd_kg)
+
+    kg_query = sub.add_parser(
+        "kg-query",
+        help="declarative KGQL (or natural-language, --nl) graph query",
+    )
+    kg_query.add_argument("--system", required=True)
+    kg_query.add_argument("--nl", action="store_true",
+                          help="translate a natural-language question "
+                               "through the template front end first")
+    kg_query.add_argument("--explain", action="store_true",
+                          help="print the logical plan and admission "
+                               "cost without executing")
+    kg_query.add_argument("query")
+    kg_query.set_defaults(func=_cmd_kg_query)
 
     stats = sub.add_parser("stats", help="system dashboard")
     stats.add_argument("--system", required=True)

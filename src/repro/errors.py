@@ -92,6 +92,39 @@ class RequestTooExpensiveError(ServiceError):
     """
 
 
+class KGQLError(QueryError):
+    """A KGQL graph query is invalid (syntax, unknown variable, ...).
+
+    Derives from :class:`QueryError` so the serving tier's negative
+    cache and the gateway's 400 mapping treat a bad graph query exactly
+    like a bad search query: deterministic, remembered, never retried.
+    """
+
+
+class KGQLSyntaxError(KGQLError):
+    """KGQL source failed to lex/parse.
+
+    Carries the offending position so front ends can render caret
+    diagnostics; ``str()`` already includes the caret block::
+
+        unexpected ']' at line 1, column 13
+          MATCH (a:"x"]
+                      ^
+    """
+
+    def __init__(self, message: str, *, line: int = 1, column: int = 1,
+                 source_line: str = "") -> None:
+        self.brief = message
+        self.line = line
+        self.column = column
+        self.source_line = source_line
+        rendered = f"{message} at line {line}, column {column}"
+        if source_line:
+            caret = " " * (column - 1) + "^"
+            rendered = f"{rendered}\n  {source_line}\n  {caret}"
+        super().__init__(rendered)
+
+
 class GatewayError(ReproError):
     """The HTTP gateway failed a request before it reached the service."""
 

@@ -227,3 +227,11 @@ class GatewayClient:
     def kg_search(self, query: str, **params: Any) -> ClientResponse:
         return self.get("/v1/kg/search",
                         params={"query": query, **params})
+
+    def kg_query(self, query: str, nl: bool = False,
+                 **params: Any) -> ClientResponse:
+        """Run a KGQL query (or NL question with ``nl=True``)."""
+        merged: dict[str, Any] = {"query": query, **params}
+        if nl:
+            merged["nl"] = "1"
+        return self.get("/v1/kg/query", params=merged)

@@ -25,6 +25,7 @@ import repro.errors as errors_module
 from repro.errors import BadRequestError, ReproError
 from repro.gateway.http import Request, Response
 from repro.kg.search import KGSearchHit
+from repro.kgql import KGQLResult
 from repro.search.engine import SearchResults
 
 #: Deadlines a client may request, in milliseconds.  The ceiling stops
@@ -55,6 +56,8 @@ ERROR_STATUS: dict[type[BaseException], tuple[int, str]] = {
     errors_module.DeadlineExceededError: (504, "deadline_exceeded"),
     errors_module.ServiceClosedError: (503, "service_closed"),
     errors_module.RequestTooExpensiveError: (429, "request_too_expensive"),
+    errors_module.KGQLError: (400, "bad_kgql"),
+    errors_module.KGQLSyntaxError: (400, "kgql_syntax"),
     errors_module.GatewayError: (500, "gateway_failed"),
     errors_module.BadRequestError: (400, "bad_request"),
     errors_module.PayloadTooLargeError: (413, "request_too_large"),
@@ -163,6 +166,27 @@ def _kg_params(request: Request) -> dict[str, Any]:
     }
 
 
+def _bool_param(request: Request, name: str) -> bool:
+    raw = request.param(name)
+    if raw is None:
+        return False
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("", "0", "false", "no", "off"):
+        return False
+    raise BadRequestError(
+        f"parameter {name!r} must be a boolean flag, got {raw!r}")
+
+
+def _kg_query_params(request: Request) -> dict[str, Any]:
+    """``/v1/kg/query``: KGQL source (or an NL question with ``nl=1``)."""
+    return {
+        "query": _require(request, "query"),
+        "nl": _bool_param(request, "nl"),
+    }
+
+
 @dataclass(frozen=True)
 class Endpoint:
     """One routable path: its metrics label and serving engine."""
@@ -180,6 +204,7 @@ ROUTES: dict[str, Endpoint] = {
         _title_abstract_params),
     "/v1/search/table": Endpoint("search.table", "table", _search_params),
     "/v1/kg/search": Endpoint("kg.search", "kg", _kg_params),
+    "/v1/kg/query": Endpoint("kg.query", "kg_query", _kg_query_params),
     "/v1/healthz": Endpoint("healthz", None),
     "/v1/stats": Endpoint("stats", None),
     "/v1/metrics": Endpoint("metrics", None),
@@ -239,6 +264,8 @@ def serialize_value(value: Any) -> Any:
                 for hit in value.results
             ],
         }
+    if isinstance(value, KGQLResult):
+        return value.to_json()
     if isinstance(value, list) and value and \
             isinstance(value[0], KGSearchHit):
         return [_serialize_kg_hit(hit) for hit in value]

@@ -24,7 +24,7 @@ from repro.kg.fusion import ExtractedSubtree, FusionEngine, FusionResult
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.matching import NodeMatcher
 from repro.kg.metaprofile import MetaProfile, build_side_effect_profile
-from repro.kg.node import KGNode
+from repro.kg.node import KGNode, normalize_label, stem_terms
 from repro.kg.ontology import seed_covid_graph
 from repro.kg.review import ExpertReviewQueue, FusionCorrector
 from repro.kg.search import KGSearchEngine
@@ -44,6 +44,8 @@ __all__ = [
     "MetaProfile",
     "build_side_effect_profile",
     "KGNode",
+    "normalize_label",
+    "stem_terms",
     "seed_covid_graph",
     "ExpertReviewQueue",
     "FusionCorrector",

@@ -13,8 +13,32 @@ import json
 from pathlib import Path
 from typing import Any, Iterator
 
+from dataclasses import dataclass
+
 from repro.errors import GraphError
-from repro.kg.node import KGNode, normalize_label
+from repro.kg.node import KGNode, normalize_label, stem_terms
+
+
+@dataclass
+class _DerivedIndexes:
+    """Per-version caches of everything derivable by one graph pass.
+
+    Rebuilt lazily whenever the graph's version counter moves past the
+    one recorded here.  Rebuilds are idempotent (two readers racing a
+    rebuild compute equal objects and one assignment wins), so no lock
+    is needed on the read path; writers already serialize behind the
+    serving tier's writer lock.
+    """
+
+    version: int
+    #: node_id -> stemmed label terms (keyword search, KGQL CONTAINS).
+    stems: dict[str, frozenset[str]]
+    #: category -> node ids carrying it, in walk (creation) order.
+    by_category: dict[str, tuple[str, ...]]
+    #: node_id -> distance from the root (root = 0).
+    depths: dict[str, int]
+    #: widest child list in the graph (KGQL traversal fan-out bound).
+    max_branching: int
 
 
 class KnowledgeGraph:
@@ -25,6 +49,7 @@ class KnowledgeGraph:
         self._by_normalized: dict[str, list[str]] = {}
         self._counter = itertools.count(1)
         self._version = 0
+        self._derived: _DerivedIndexes | None = None
         self.root_id = self._create_node(root_label, parent_id=None)
 
     # -- versioning -------------------------------------------------------
@@ -125,6 +150,61 @@ class KnowledgeGraph:
         ids = self._by_normalized.get(normalize_label(label), [])
         return [self._nodes[node_id] for node_id in ids]
 
+    # -- derived indexes (version-stamped caches) --------------------------
+
+    def _indexes(self) -> _DerivedIndexes:
+        derived = self._derived
+        if derived is None or derived.version != self._version:
+            stems: dict[str, frozenset[str]] = {}
+            by_category: dict[str, list[str]] = {}
+            depths: dict[str, int] = {self.root_id: 0}
+            max_branching = 0
+            for node in self.walk():
+                stems[node.node_id] = stem_terms(node.label)
+                if node.category is not None:
+                    by_category.setdefault(
+                        node.category, []).append(node.node_id)
+                depth = depths[node.node_id]
+                for child_id in node.children:
+                    depths[child_id] = depth + 1
+                max_branching = max(max_branching, len(node.children))
+            derived = _DerivedIndexes(
+                version=self._version,
+                stems=stems,
+                by_category={category: tuple(ids)
+                             for category, ids in by_category.items()},
+                depths=depths,
+                max_branching=max_branching,
+            )
+            self._derived = derived
+        return derived
+
+    def label_stems(self) -> dict[str, frozenset[str]]:
+        """Cached ``node_id -> stemmed label terms`` map.
+
+        Keyword search and the KGQL node-match stage used to recompute
+        per-node stems on every call — one stemmer pass per node per
+        query.  The map is now built once per graph version and reused
+        until :meth:`touch`/structural writes bump the counter.
+        """
+        return self._indexes().stems
+
+    def nodes_by_category(self, category: str) -> list[KGNode]:
+        """Nodes tagged ``category``, in creation (walk) order, via the
+        version-stamped category index."""
+        return [self._nodes[node_id]
+                for node_id in self._indexes().by_category.get(
+                    category, ())]
+
+    def depth_map(self) -> dict[str, int]:
+        """Cached ``node_id -> depth`` (root = 0) for every node."""
+        return self._indexes().depths
+
+    def max_branching(self) -> int:
+        """Widest child list in the graph — the worst-case per-hop
+        fan-out KGQL admission pricing assumes for downward traversal."""
+        return self._indexes().max_branching
+
     def path_to(self, node_id: str) -> list[KGNode]:
         """Nodes from the root down to ``node_id`` (inclusive)."""
         path = []
@@ -187,6 +267,7 @@ class KnowledgeGraph:
 
         graph = cls.__new__(cls)
         graph._nodes = by_id
+        graph._derived = None
         graph._by_normalized = {}
         for node in nodes:
             graph._by_normalized.setdefault(
@@ -235,7 +316,7 @@ class KnowledgeGraph:
 
     def statistics(self) -> dict[str, Any]:
         """Size/shape summary shown by the API and benchmarks."""
-        depths = [self.depth(node_id) for node_id in self._nodes]
+        depths = list(self.depth_map().values())
         return {
             "nodes": len(self._nodes),
             "leaves": sum(

@@ -16,6 +16,24 @@ from repro.text.stemmer import stem
 from repro.text.tokenizer import tokenize
 
 
+def stem_terms(text: str) -> frozenset[str]:
+    """Stemmed tokens of ``text``, with hyphenated compounds also split
+    into their parts so "side effects" matches "Side-effects".
+
+    This is the term-matching normal form shared by KG keyword search
+    and KGQL ``CONTAINS`` matching; per-node results are cached on the
+    graph (:meth:`~repro.kg.graph.KnowledgeGraph.label_stems`).
+    """
+    stems = set()
+    for token in tokenize(text):
+        stems.add(stem(token))
+        if "-" in token or "/" in token:
+            for part in token.replace("/", "-").split("-"):
+                if part:
+                    stems.add(stem(part))
+    return frozenset(stems)
+
+
 def normalize_label(label: str) -> str:
     """Normalized NLP form of a label: stemmed tokens, sorted, joined.
 

@@ -13,25 +13,15 @@ from dataclasses import dataclass
 
 from repro.errors import QueryError
 from repro.kg.graph import KnowledgeGraph
-from repro.kg.node import KGNode
-from repro.text.stemmer import stem
-from repro.text.tokenizer import tokenize
+from repro.kg.node import KGNode, stem_terms
 
 HIGHLIGHT_OPEN = "[["
 HIGHLIGHT_CLOSE = "]]"
 
-
-def _stems(text: str) -> set[str]:
-    """Stemmed tokens of ``text``, with hyphenated compounds also split
-    into their parts so "side effects" matches "Side-effects"."""
-    stems = set()
-    for token in tokenize(text):
-        stems.add(stem(token))
-        if "-" in token or "/" in token:
-            for part in token.replace("/", "-").split("-"):
-                if part:
-                    stems.add(stem(part))
-    return stems
+#: Back-compat alias: the stemming normal form now lives in
+#: :func:`repro.kg.node.stem_terms` so the graph's per-node stem cache
+#: and KGQL share it without importing the search engine.
+_stems = stem_terms
 
 
 @dataclass
@@ -69,12 +59,15 @@ class KGSearchEngine:
         with full matches ranked above partial ones and shallower nodes
         above deeper ones at equal coverage.
         """
-        query_stems = sorted(_stems(query))
+        query_stems = sorted(stem_terms(query))
         if not query_stems:
             raise QueryError("empty query")
         hits = []
+        # Per-node label stems come from the graph's version-stamped
+        # cache: one stemmer pass per graph version, not per query.
+        stems_by_node = self.graph.label_stems()
         for node in self.graph.walk():
-            label_stems = _stems(node.label)
+            label_stems = stems_by_node[node.node_id]
             matched = sum(1 for s in query_stems if s in label_stems)
             if matched == 0:
                 continue

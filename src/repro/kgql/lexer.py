@@ -1,0 +1,156 @@
+"""The KGQL tokenizer.
+
+Hand-rolled (no regex tables) so every token records the exact source
+position it started at — the parser threads those positions into
+:class:`~repro.errors.KGQLSyntaxError` and the gateway renders them as
+caret diagnostics.  Longest-match-first handles the overlapping
+punctuation: ``<-[`` must win over ``<=`` and ``<``, ``]->`` over
+``]``, ``..`` over ``.``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KGQLSyntaxError
+
+#: Keywords, matched case-insensitively; ``Token.value`` is upper-cased.
+KEYWORDS = frozenset({
+    "MATCH", "WHERE", "RETURN", "LIMIT", "AND", "OR", "NOT", "CONTAINS",
+})
+
+#: Multi-character punctuation, longest first (order is load-bearing).
+_PUNCTUATION = (
+    "<-[", "]->", "]-", "-[", "..", "<=", ">=", "!=",
+    "(", ")", "[", "]", ",", ":", ".", "*", "=", "<", ">",
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_BODY = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its starting source position (1-based)."""
+
+    kind: str  # KEYWORD | IDENT | STRING | NUMBER | one of _PUNCTUATION | EOF
+    value: str
+    line: int
+    column: int
+
+
+def _source_line(text: str, line: int) -> str:
+    lines = text.split("\n")
+    return lines[line - 1] if 1 <= line <= len(lines) else ""
+
+
+def lex_error(text: str, message: str, line: int,
+              column: int) -> KGQLSyntaxError:
+    """A syntax error carrying the offending line for caret rendering."""
+    return KGQLSyntaxError(message, line=line, column=column,
+                           source_line=_source_line(text, line))
+
+
+def tokenize(text: str) -> list[Token]:
+    """``text`` -> tokens, ending with an ``EOF`` token.
+
+    >>> [t.kind for t in tokenize('MATCH (a) RETURN a')]
+    ['KEYWORD', '(', 'IDENT', ')', 'KEYWORD', 'IDENT', 'EOF']
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index, length = 0, len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char in ('"', "'"):
+            token, index, consumed = _lex_string(text, index, line, column)
+            tokens.append(token)
+            column += consumed
+            continue
+        if char in _DIGITS:
+            start = index
+            while index < length and text[index] in _DIGITS:
+                index += 1
+            if index < length and text[index] == "." and \
+                    not text.startswith("..", index) and \
+                    index + 1 < length and text[index + 1] in _DIGITS:
+                index += 1
+                while index < length and text[index] in _DIGITS:
+                    index += 1
+            value = text[start:index]
+            tokens.append(Token("NUMBER", value, line, column))
+            column += len(value)
+            continue
+        if char in _IDENT_START:
+            start = index
+            while index < length and text[index] in _IDENT_BODY:
+                index += 1
+            value = text[start:index]
+            kind = "KEYWORD" if value.upper() in KEYWORDS else "IDENT"
+            tokens.append(Token(
+                kind, value.upper() if kind == "KEYWORD" else value,
+                line, column,
+            ))
+            column += len(value)
+            continue
+        for punct in _PUNCTUATION:
+            if text.startswith(punct, index):
+                tokens.append(Token(punct, punct, line, column))
+                index += len(punct)
+                column += len(punct)
+                break
+        else:
+            raise lex_error(text, f"unexpected character {char!r}",
+                            line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+def _lex_string(text: str, index: int, line: int,
+                column: int) -> tuple[Token, int, int]:
+    """Lex one quoted string starting at ``index``; returns
+    ``(token, next_index, columns_consumed)``.
+
+    Either quote character delimits; ``\\\\`` and ``\\<quote>`` escape.
+    Newlines inside strings are a syntax error (labels never span
+    lines, and unterminated strings should point at their start).
+    """
+    quote = text[index]
+    parts: list[str] = []
+    cursor = index + 1
+    while cursor < len(text):
+        char = text[cursor]
+        if char == quote:
+            return (
+                Token("STRING", "".join(parts), line, column),
+                cursor + 1,
+                cursor + 1 - index,
+            )
+        if char == "\n":
+            break
+        if char == "\\" and cursor + 1 < len(text) and \
+                text[cursor + 1] in (quote, "\\"):
+            parts.append(text[cursor + 1])
+            cursor += 2
+            continue
+        parts.append(char)
+        cursor += 1
+    raise lex_error(text, "unterminated string literal", line, column)
+
+
+def quote_label(label: str) -> str:
+    """``label`` as a KGQL string literal (the renderer's inverse of
+    :func:`_lex_string`)."""
+    escaped = label.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'

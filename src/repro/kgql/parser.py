@@ -1,0 +1,295 @@
+"""Recursive-descent KGQL parser.
+
+Grammar (keywords case-insensitive)::
+
+    query   :=  MATCH chain (',' chain)*
+                [WHERE expr]
+                RETURN IDENT (',' IDENT)*
+                [LIMIT NUMBER]
+    chain   :=  node (edge node)*
+    node    :=  '(' [IDENT] [':' STRING] ')'
+    edge    :=  '-[' TYPE [hops] ']->'  |  '<-[' TYPE [hops] ']-'
+    hops    :=  '*' NUMBER ['..' NUMBER]
+    TYPE    :=  child_of | parent_of | related
+    expr    :=  and ( OR and )*
+    and     :=  unary ( AND unary )*
+    unary   :=  NOT unary | '(' expr ')' | operand cmp operand
+    cmp     :=  '=' | '!=' | '<' | '<=' | '>' | '>=' | CONTAINS
+    operand :=  IDENT '.' FIELD | STRING | NUMBER
+    FIELD   :=  id | label | category | depth | papers
+
+A back-arrow edge ``(a)<-[t]-(b)`` is desugared at parse time into the
+forward edge with the inverse type (``child_of`` ↔ ``parent_of``), so
+the AST — and everything downstream — only ever sees ``-[t]->``.
+
+Every failure is a :class:`~repro.errors.KGQLSyntaxError` pointing at
+the offending token, including semantic checks that have an obvious
+anchor (unknown edge type, unknown field, undeclared RETURN variable,
+inverted hop bounds).
+"""
+
+from __future__ import annotations
+
+from repro.errors import KGQLSyntaxError
+from repro.kgql.ast import (
+    EDGE_TYPES,
+    INVERSE_EDGE,
+    MAX_HOPS,
+    NODE_FIELDS,
+    BoolOp,
+    Chain,
+    Comparison,
+    EdgePattern,
+    Expr,
+    FieldRef,
+    Literal,
+    NodePattern,
+    NotExpr,
+    Operand,
+    Query,
+)
+from repro.kgql.lexer import Token, tokenize
+
+_COMPARE_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def parse(text: str) -> Query:
+    """Parse one KGQL statement.
+
+    >>> parse('MATCH (v:"Vaccines")-[parent_of*1..2]->(e) RETURN e').render()
+    'MATCH (v:"Vaccines")-[parent_of*1..2]->(e) RETURN e'
+    """
+    return _Parser(text).parse()
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self._declared: set[str] = set()
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None
+               ) -> KGQLSyntaxError:
+        token = token or self.current
+        lines = self.text.split("\n")
+        source_line = lines[token.line - 1] \
+            if 1 <= token.line <= len(lines) else ""
+        return KGQLSyntaxError(message, line=token.line,
+                               column=token.column,
+                               source_line=source_line)
+
+    def _describe(self, token: Token) -> str:
+        if token.kind == "EOF":
+            return "end of query"
+        return repr(token.value)
+
+    def _expect(self, kind: str, what: str) -> Token:
+        if self.current.kind != kind:
+            raise self._error(
+                f"expected {what}, found {self._describe(self.current)}")
+        return self._advance()
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self.current
+        if token.kind != "KEYWORD" or token.value != keyword:
+            raise self._error(
+                f"expected {keyword}, found {self._describe(token)}")
+        return self._advance()
+
+    def _at_keyword(self, keyword: str) -> bool:
+        return self.current.kind == "KEYWORD" and \
+            self.current.value == keyword
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect_keyword("MATCH")
+        chains = [self._chain()]
+        while self.current.kind == ",":
+            self._advance()
+            chains.append(self._chain())
+        self._declared = {
+            node.var
+            for chain in chains for node in chain.nodes
+            if node.var is not None
+        }
+        where = None
+        if self._at_keyword("WHERE"):
+            self._advance()
+            where = self._expr()
+        self._expect_keyword("RETURN")
+        returns = [self._return_item()]
+        while self.current.kind == ",":
+            self._advance()
+            returns.append(self._return_item())
+        limit = None
+        if self._at_keyword("LIMIT"):
+            self._advance()
+            token = self._expect("NUMBER", "a LIMIT count")
+            if "." in token.value or int(token.value) < 1:
+                raise self._error(
+                    f"LIMIT must be a positive integer, "
+                    f"got {token.value!r}", token)
+            limit = int(token.value)
+        if self.current.kind != "EOF":
+            raise self._error(
+                f"unexpected {self._describe(self.current)} "
+                f"after the end of the query")
+        return Query(chains=tuple(chains), returns=tuple(returns),
+                     where=where, limit=limit)
+
+    def _return_item(self) -> str:
+        token = self._expect("IDENT", "a variable to RETURN")
+        if token.value not in self._declared:
+            raise self._error(
+                f"RETURN references unknown variable {token.value!r}",
+                token)
+        return token.value
+
+    def _chain(self) -> Chain:
+        nodes = [self._node()]
+        edges = []
+        while self.current.kind in ("-[", "<-["):
+            backward = self.current.kind == "<-["
+            edges.append(self._edge(backward))
+            nodes.append(self._node())
+        return Chain(nodes=tuple(nodes), edges=tuple(edges))
+
+    def _node(self) -> NodePattern:
+        self._expect("(", "a node pattern '('")
+        var = None
+        label = None
+        if self.current.kind == "IDENT":
+            var = self._advance().value
+        if self.current.kind == ":":
+            self._advance()
+            label = self._expect("STRING", "a quoted node label").value
+        self._expect(")", "')' closing the node pattern")
+        return NodePattern(var=var, label=label)
+
+    def _edge(self, backward: bool) -> EdgePattern:
+        self._advance()  # the '-[' / '<-[' token
+        token = self._expect("IDENT", "an edge type")
+        etype = token.value
+        if etype not in EDGE_TYPES:
+            raise self._error(
+                f"unknown edge type {etype!r}; "
+                f"one of {', '.join(EDGE_TYPES)}", token)
+        min_hops, max_hops = 1, 1
+        if self.current.kind == "*":
+            self._advance()
+            low = self._expect("NUMBER", "a hop count")
+            if "." in low.value:
+                raise self._error("hop counts must be integers", low)
+            min_hops = max_hops = int(low.value)
+            if self.current.kind == "..":
+                self._advance()
+                high = self._expect("NUMBER", "an upper hop bound")
+                if "." in high.value:
+                    raise self._error("hop counts must be integers", high)
+                max_hops = int(high.value)
+            if max_hops < min_hops:
+                raise self._error(
+                    f"hop bounds inverted: *{min_hops}..{max_hops}",
+                    low)
+            if max_hops > MAX_HOPS:
+                raise self._error(
+                    f"hop bound {max_hops} exceeds the maximum "
+                    f"of {MAX_HOPS}", low)
+        if backward:
+            self._expect("]-", "']-' closing the edge")
+            etype = INVERSE_EDGE[etype]
+        else:
+            self._expect("]->", "']->' closing the edge")
+        return EdgePattern(etype=etype, min_hops=min_hops,
+                           max_hops=max_hops)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        operands = [self._and_expr()]
+        while self._at_keyword("OR"):
+            self._advance()
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("OR", tuple(self._flatten("OR", operands)))
+
+    def _and_expr(self) -> Expr:
+        operands = [self._unary()]
+        while self._at_keyword("AND"):
+            self._advance()
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("AND", tuple(self._flatten("AND", operands)))
+
+    @staticmethod
+    def _flatten(op: str, operands: list[Expr]) -> list[Expr]:
+        flat: list[Expr] = []
+        for operand in operands:
+            if isinstance(operand, BoolOp) and operand.op == op:
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        return flat
+
+    def _unary(self) -> Expr:
+        if self._at_keyword("NOT"):
+            self._advance()
+            return NotExpr(self._unary())
+        if self.current.kind == "(":
+            self._advance()
+            inner = self._expr()
+            self._expect(")", "')' closing the group")
+            return inner
+        lhs = self._operand()
+        token = self.current
+        if token.kind in _COMPARE_OPS:
+            op = self._advance().value
+        elif self._at_keyword("CONTAINS"):
+            self._advance()
+            op = "CONTAINS"
+        else:
+            raise self._error(
+                f"expected a comparison operator, "
+                f"found {self._describe(token)}")
+        rhs = self._operand()
+        return Comparison(lhs=lhs, op=op, rhs=rhs)
+
+    def _operand(self) -> Operand:
+        token = self.current
+        if token.kind == "STRING":
+            return Literal(self._advance().value)
+        if token.kind == "NUMBER":
+            value = self._advance().value
+            return Literal(float(value) if "." in value else int(value))
+        if token.kind == "IDENT":
+            var_token = self._advance()
+            if var_token.value not in self._declared:
+                raise self._error(
+                    f"WHERE references unknown variable "
+                    f"{var_token.value!r}", var_token)
+            self._expect(".", "'.' before a field name")
+            field = self._expect("IDENT", "a field name")
+            if field.value not in NODE_FIELDS:
+                raise self._error(
+                    f"unknown field {field.value!r}; "
+                    f"one of {', '.join(NODE_FIELDS)}", field)
+            return FieldRef(var=var_token.value, field=field.value)
+        raise self._error(
+            f"expected a value or var.field, "
+            f"found {self._describe(token)}")

@@ -61,7 +61,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kg.enrichment import EnrichmentReport
 
 #: Engines a request may target.
-ENGINES = ("all_fields", "title_abstract", "table", "kg", "meta_profile")
+ENGINES = ("all_fields", "title_abstract", "table", "kg", "kg_query",
+           "meta_profile")
 
 
 @dataclass
@@ -193,6 +194,7 @@ class QueryService:
             "title_abstract": self._run_title_abstract,
             "table": self._run_table,
             "kg": self._run_kg,
+            "kg_query": self._run_kg_query,
             "meta_profile": self._run_meta_profile,
         }
 
@@ -270,7 +272,15 @@ class QueryService:
                    else self.config.default_timeout_seconds)
         deadline = None if timeout is None else started + timeout
         if self.config.max_request_cost is not None:
-            estimate = self._estimate_cost(engine, params)
+            try:
+                estimate = self._estimate_cost(engine, params)
+            except QueryError as exc:
+                # Pricing itself rejected the request (e.g. KGQL that
+                # does not parse).  Deterministic, so negative-cache it
+                # — and settle the flight so followers don't hang.
+                self.cache.fail(flight, exc, negative=True)
+                self.metrics.record_error(engine)
+                raise
             if estimate is not None and \
                     estimate.total_cost > self.config.max_request_cost:
                 exc = RequestTooExpensiveError(
@@ -407,7 +417,7 @@ class QueryService:
             return (system.title_abstract.collection.version,)
         if engine == "table":
             return (system.tables.collection.version,)
-        if engine == "kg":
+        if engine in ("kg", "kg_query"):
             return (system.graph.version,)
         # meta_profile reads the ingested corpus.
         return (system.store.version,)
@@ -442,6 +452,18 @@ class QueryService:
             # Graph search scores every node once.
             return estimate_pipeline_cost([{"$match": {}}],
                                           [len(system.graph)])
+        if engine == "kg_query":
+            # Parse + plan the KGQL (translating NL first) and price
+            # the traversal: candidate set × per-hop fan-out × hop
+            # bound.  Syntax errors surface here, pre-admission.
+            from repro.kgql import (  # noqa: PLC0415
+                estimate_kgql_cost, parse, plan_query, translate,
+            )
+            text = str(params.get("query", ""))
+            if params.get("nl"):
+                text = translate(text).kgql
+            return estimate_kgql_cost(plan_query(parse(text)),
+                                      system.graph)
         if engine == "meta_profile":
             # One pass over the ingested corpus.
             return estimate_pipeline_cost([{"$match": {}}],
@@ -495,6 +517,9 @@ class QueryService:
 
     def _run_kg(self, query: str, top_k: int = 10) -> Any:
         return self.system.search_graph(query, top_k=top_k)
+
+    def _run_kg_query(self, query: str, nl: bool = False) -> Any:
+        return self.system.query_graph(query, nl=nl)
 
     def _run_meta_profile(self) -> Any:
         return self.system.meta_profile()

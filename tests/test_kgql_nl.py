@@ -1,0 +1,111 @@
+"""Golden tests for the NL → KGQL template front end.
+
+The translations are part of the serving contract (the tier caches on
+the translated query text), so each template's exact output is pinned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KGQLError
+from repro.kg.ontology import seed_covid_graph
+from repro.kgql import KGQLEngine, parse, translate
+
+GOLDEN = [
+    (
+        "side effects of Pfizer",
+        "side_effects_of",
+        'MATCH (x:"Pfizer")-[related*1..3]->(e) '
+        'WHERE e.category = "side_effects" RETURN x, e LIMIT 25',
+    ),
+    (
+        "What are the side-effects of the Moderna vaccine?",
+        "side_effects_of",
+        'MATCH (x:"Moderna vaccine")-[related*1..3]->(e) '
+        'WHERE e.category = "side_effects" RETURN x, e LIMIT 25',
+    ),
+    (
+        "papers linking masks and transmission",
+        "papers_linking",
+        'MATCH (x:"masks")-[related*1..6]->(y:"transmission") '
+        'RETURN x, y LIMIT 25',
+    ),
+    (
+        "Which papers link Fever to Vaccines?",
+        "papers_linking",
+        'MATCH (x:"Fever")-[related*1..6]->(y:"Vaccines") '
+        'RETURN x, y LIMIT 25',
+    ),
+    (
+        "what is under Vaccines",
+        "what_is_under",
+        'MATCH (y:"Vaccines")-[parent_of*1..3]->(c) RETURN c LIMIT 50',
+    ),
+    (
+        "children of Side-effects",
+        "what_is_under",
+        'MATCH (y:"Side-effects")-[parent_of*1..3]->(c) '
+        'RETURN c LIMIT 50',
+    ),
+    (
+        "what is above Fever?",
+        "what_is_above",
+        'MATCH (x:"Fever")-[child_of*1..5]->(p) RETURN p LIMIT 25',
+    ),
+    (
+        "parents of Pfizer",
+        "what_is_above",
+        'MATCH (x:"Pfizer")-[child_of*1..5]->(p) RETURN p LIMIT 25',
+    ),
+    (
+        "papers about remdesivir",
+        "papers_about",
+        'MATCH (x:"remdesivir") RETURN x LIMIT 10',
+    ),
+    (
+        "papers mentioning masks?",
+        "papers_about",
+        'MATCH (x:"masks") RETURN x LIMIT 10',
+    ),
+]
+
+
+class TestGolden:
+    @pytest.mark.parametrize("question,template,kgql", GOLDEN)
+    def test_translation_is_pinned(self, question, template, kgql):
+        translated = translate(question)
+        assert translated.template == template
+        assert translated.kgql == kgql
+
+    @pytest.mark.parametrize("question,template,kgql", GOLDEN)
+    def test_every_translation_parses(self, question, template, kgql):
+        parse(kgql)  # must not raise
+
+
+class TestEdgeCases:
+    def test_entities_with_quotes_are_escaped(self):
+        translated = translate('papers about "novel" strains')
+        assert translated.kgql == \
+            'MATCH (x:"\\"novel\\" strains") RETURN x LIMIT 10'
+        parse(translated.kgql)
+
+    def test_unmatched_question_lists_templates(self):
+        with pytest.raises(KGQLError, match="supported shapes"):
+            translate("how is the weather today")
+
+    def test_empty_entity_rejected(self):
+        with pytest.raises(KGQLError):
+            translate("papers about ?")
+
+    def test_translation_executes_on_seed_graph(self):
+        engine = KGQLEngine(seed_covid_graph())
+        result = engine.query("what is under Vaccines", nl=True)
+        labels = {row.bindings["c"]["label"] for row in result.rows}
+        assert "Side-effects" in labels
+        result = engine.query("side effects of vaccines", nl=True)
+        assert result.total_matches > 0
+        assert all(
+            row.bindings["e"]["category"] == "side_effects"
+            for row in result.rows
+        )

@@ -1,0 +1,263 @@
+"""KGQL lexer/parser tests: round-trips, diagnostics, and properties.
+
+The canonical-render round-trip (``parse(q.render()) == q``) is the
+contract that lets the serving tier cache on normalized query text: two
+queries with the same AST always produce the same cache key.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KGQLSyntaxError
+from repro.kgql import parse
+from repro.kgql.ast import (
+    EDGE_TYPES,
+    MAX_HOPS,
+    BoolOp,
+    Chain,
+    Comparison,
+    EdgePattern,
+    FieldRef,
+    Literal,
+    NodePattern,
+    NotExpr,
+    Query,
+)
+from repro.kgql.lexer import tokenize
+
+
+# -- lexer ------------------------------------------------------------------
+
+class TestLexer:
+    def test_tokenizes_full_query(self):
+        tokens = tokenize(
+            'MATCH (v:"Vaccines")-[child_of*1..3]->(e) RETURN v LIMIT 5'
+        )
+        kinds = [token.kind for token in tokens]
+        assert tokens[0].kind == "KEYWORD"
+        assert tokens[0].value == "MATCH"
+        assert "STRING" in kinds
+        assert kinds[-1] == "EOF"
+
+    def test_keywords_are_case_insensitive(self):
+        assert tokenize("match")[0].value == "MATCH"
+        assert tokenize("Return")[0].value == "RETURN"
+
+    def test_string_escapes(self):
+        token = tokenize(r'"a \"quoted\" \\ label"')[0]
+        assert token.value == 'a "quoted" \\ label'
+
+    def test_unterminated_string_raises_with_position(self):
+        with pytest.raises(KGQLSyntaxError) as excinfo:
+            tokenize('MATCH (v:"oops')
+        assert excinfo.value.column == 10
+
+    def test_unexpected_character(self):
+        with pytest.raises(KGQLSyntaxError):
+            tokenize("MATCH (v) § RETURN v")
+
+
+# -- parser round-trips -----------------------------------------------------
+
+ROUND_TRIP_QUERIES = [
+    'MATCH (v) RETURN v',
+    'MATCH (v:"Vaccines") RETURN v LIMIT 10',
+    'MATCH (v:"Vaccines")-[parent_of]->(e) RETURN v, e',
+    'MATCH (v:"Vaccines")-[parent_of*2..4]->(e) RETURN e',
+    'MATCH (a)-[related*1..3]->(b:"Masks") RETURN a LIMIT 3',
+    'MATCH (a:"Pfizer"), (b:"Moderna") RETURN a, b',
+    'MATCH (v:"Vaccines")-[parent_of]->(e)-[parent_of]->(g) RETURN g',
+    'MATCH (v) WHERE v.category = "side_effects" RETURN v',
+    'MATCH (v) WHERE v.depth > 1 AND v.depth <= 3 RETURN v',
+    'MATCH (v) WHERE NOT v.label CONTAINS "fever" RETURN v',
+    'MATCH (v) WHERE v.papers >= 1 OR v.depth = 0 RETURN v LIMIT 7',
+]
+
+
+class TestParserRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+    def test_render_then_parse_is_identity(self, text):
+        query = parse(text)
+        rendered = query.render()
+        assert parse(rendered) == query
+        # Rendering is canonical: a second round changes nothing.
+        assert parse(rendered).render() == rendered
+
+    def test_exact_hop_bound_canonicalizes(self):
+        query = parse('MATCH (a)-[related*3]->(b:"Masks") RETURN b')
+        assert "related*3..3" in query.render()
+
+    def test_backward_edge_desugars_to_forward_inverse(self):
+        back = parse('MATCH (a:"Masks")<-[child_of*1..2]-(b) RETURN b')
+        forward = parse('MATCH (a:"Masks")-[parent_of*1..2]->(b) RETURN b')
+        assert back.chains == forward.chains
+
+    def test_related_is_self_inverse(self):
+        back = parse('MATCH (a:"Masks")<-[related]-(b) RETURN b')
+        forward = parse('MATCH (a:"Masks")-[related]->(b) RETURN b')
+        assert back.chains == forward.chains
+
+    def test_variables_in_first_appearance_order(self):
+        query = parse('MATCH (b)-[related]->(a), (c:"Masks") RETURN a')
+        assert query.variables() == ("b", "a", "c")
+
+    def test_and_or_flatten_to_nary(self):
+        query = parse(
+            'MATCH (v) WHERE v.depth = 1 AND v.depth = 2 AND '
+            'v.depth = 3 RETURN v'
+        )
+        assert isinstance(query.where, BoolOp)
+        assert len(query.where.operands) == 3
+
+
+# -- diagnostics ------------------------------------------------------------
+
+def _caret_column(error: KGQLSyntaxError) -> int:
+    return error.column
+
+
+class TestDiagnostics:
+    def test_missing_return(self):
+        with pytest.raises(KGQLSyntaxError, match="RETURN"):
+            parse('MATCH (v)')
+
+    def test_unknown_edge_type_position(self):
+        with pytest.raises(KGQLSyntaxError) as excinfo:
+            parse('MATCH (a)-[sibling_of]->(b) RETURN a')
+        assert excinfo.value.column == 12
+        assert "sibling_of" in str(excinfo.value)
+
+    def test_caret_rendering_points_at_offender(self):
+        with pytest.raises(KGQLSyntaxError) as excinfo:
+            parse('MATCH (v:')
+        rendered = str(excinfo.value)
+        lines = rendered.splitlines()
+        assert lines[1].strip() == "MATCH (v:"
+        assert lines[2].index("^") - lines[1].index("M") == \
+            excinfo.value.column - 1
+
+    def test_unknown_return_variable(self):
+        with pytest.raises(KGQLSyntaxError, match="unknown variable"):
+            parse('MATCH (v) RETURN w')
+
+    def test_unknown_where_variable(self):
+        with pytest.raises(KGQLSyntaxError, match="unknown variable"):
+            parse('MATCH (v) WHERE w.depth = 1 RETURN v')
+
+    def test_unknown_field(self):
+        with pytest.raises(KGQLSyntaxError, match="field"):
+            parse('MATCH (v) WHERE v.color = "red" RETURN v')
+
+    def test_hop_bounds_validated(self):
+        with pytest.raises(KGQLSyntaxError, match="hop"):
+            parse('MATCH (a)-[related*3..2]->(b) RETURN a')
+        with pytest.raises(KGQLSyntaxError, match="hop"):
+            parse(f'MATCH (a)-[related*1..{MAX_HOPS + 1}]->(b) RETURN a')
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(KGQLSyntaxError):
+            parse('MATCH (v) RETURN v LIMIT 0')
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(KGQLSyntaxError):
+            parse('MATCH (v) RETURN v LIMIT 5 garbage')
+
+    def test_empty_query(self):
+        with pytest.raises(KGQLSyntaxError):
+            parse('')
+
+
+# -- property-based round-trip ---------------------------------------------
+
+_vars = st.sampled_from(["a", "b", "c", "d", "v"])
+_labels = st.one_of(
+    st.none(),
+    st.sampled_from(["Vaccines", "Side-effects", "COVID-19",
+                     'quo"ted', "back\\slash", "Masks usage"]),
+)
+_fields = st.sampled_from(["id", "label", "category", "depth", "papers"])
+
+
+@st.composite
+def _node(draw):
+    return NodePattern(var=draw(_vars), label=draw(_labels))
+
+
+@st.composite
+def _edge(draw):
+    lo = draw(st.integers(min_value=0, max_value=4))
+    hi = draw(st.integers(min_value=max(lo, 1), max_value=6))
+    return EdgePattern(etype=draw(st.sampled_from(EDGE_TYPES)),
+                       min_hops=lo, max_hops=hi)
+
+
+@st.composite
+def _chain(draw):
+    length = draw(st.integers(min_value=1, max_value=3))
+    nodes = tuple(draw(_node()) for _ in range(length))
+    edges = tuple(draw(_edge()) for _ in range(length - 1))
+    return Chain(nodes=nodes, edges=edges)
+
+
+@st.composite
+def _comparison(draw, declared):
+    lhs = FieldRef(var=draw(st.sampled_from(declared)),
+                   field=draw(_fields))
+    op = draw(st.sampled_from(
+        ("=", "!=", "<", "<=", ">", ">=", "CONTAINS")))
+    rhs = draw(st.one_of(
+        st.integers(min_value=0, max_value=99).map(Literal),
+        st.sampled_from(["fever", 'with "quotes"', "x"]).map(Literal),
+    ))
+    return Comparison(lhs=lhs, op=op, rhs=rhs)
+
+
+@st.composite
+def _expr(draw, declared, depth=0):
+    if depth >= 2:
+        return draw(_comparison(declared))
+    choice = draw(st.integers(min_value=0, max_value=3))
+    if choice == 0:
+        return draw(_comparison(declared))
+    if choice == 1:
+        return NotExpr(operand=draw(_expr(declared, depth + 1)))
+    operands = tuple(
+        draw(_expr(declared, depth + 1))
+        for _ in range(draw(st.integers(min_value=2, max_value=3)))
+    )
+    op = "AND" if choice == 2 else "OR"
+    # Mirror the parser's flattening: nested same-op BoolOps collapse.
+    flat = []
+    for operand in operands:
+        if isinstance(operand, BoolOp) and operand.op == op:
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    return BoolOp(op=op, operands=tuple(flat))
+
+
+@st.composite
+def _query(draw):
+    chains = tuple(
+        draw(_chain())
+        for _ in range(draw(st.integers(min_value=1, max_value=2)))
+    )
+    declared = sorted({node.var for chain in chains
+                       for node in chain.nodes})
+    where = draw(st.one_of(st.none(), _expr(declared)))
+    count = draw(st.integers(min_value=1, max_value=len(declared)))
+    returns = tuple(draw(st.permutations(declared))[:count])
+    limit = draw(st.one_of(
+        st.none(), st.integers(min_value=1, max_value=50)))
+    return Query(chains=chains, returns=returns, where=where,
+                 limit=limit)
+
+
+class TestParserProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(_query())
+    def test_render_parse_round_trip(self, query):
+        assert parse(query.render()) == query
