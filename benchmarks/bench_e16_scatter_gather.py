@@ -9,14 +9,17 @@ plus the single-flight stampede protection in the serving tier.
 Emits ``BENCH_e16_scatter_gather.json`` (machine-readable trajectory;
 the CI bench-smoke job uploads it as an artifact).
 
-Honesty note: the per-shard work here is pure-Python matching/scoring,
-so under the GIL thread fan-out buys concurrency, not CPU parallelism —
-the ISSUE's >= 2x target assumes releasing-the-GIL shard work (real I/O
-or native scoring).  We report the measured ratio either way; the
-correctness claim (byte-identical pages) is asserted unconditionally.
+Honesty note: on the *scalar* path the per-shard work is pure-Python
+matching/scoring, so under the GIL thread fan-out buys concurrency, not
+CPU parallelism.  Two escapes exist now: the columnar numpy kernels
+(engaged by default for eligible queries) release the GIL inside array
+ops, and ``REPRO_EXECUTOR_KIND=process`` moves shard ranking onto a
+spawn-based process pool entirely — the >= 2x target applies to process
+mode on a >= 4-core machine (asserted only there; this container may
+have one core).  We report measured ratios either way; the correctness
+claim (byte-identical pages) is asserted unconditionally.
 """
 
-import json
 import os
 import threading
 import time
@@ -26,7 +29,12 @@ from benchlib import print_table
 
 from repro.api.system import CovidKG, CovidKGConfig
 from repro.corpus.generator import CorpusGenerator, GeneratorConfig
-from repro.docstore.executor import WIDTH_ENV, shutdown_executor
+from repro.docstore.executor import (
+    KIND_ENV,
+    WIDTH_ENV,
+    shutdown_executor,
+    shutdown_process_executor,
+)
 from repro.search.all_fields import AllFieldsEngine
 from repro.serve.service import QueryService, ServeConfig
 
@@ -43,17 +51,6 @@ RESULTS = {
     "scatter_gather": [],
     "single_flight": {},
 }
-
-
-@pytest.fixture(scope="module", autouse=True)
-def emit_json():
-    yield
-    RESULTS["written_at"] = time.time()
-    path = os.path.join(os.environ.get("BENCH_DIR", "."),
-                        "BENCH_e16_scatter_gather.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(RESULTS, handle, indent=2)
-    print(f"\nwrote {path}")
 
 
 @pytest.fixture(scope="module")
@@ -232,3 +229,51 @@ def test_e16_single_flight_stampede(corpus):
     }
     assert len(computations) == 1
     assert stats["collapsed_misses"] == hammer - 1
+
+
+def test_e16_process_mode_fanout(corpus, monkeypatch):
+    """Thread vs process executor on sharded columnar ranking.
+
+    ``REPRO_EXECUTOR_KIND=process`` ships each shard's columnar
+    ranking to a spawn-based worker pool, sidestepping the GIL
+    entirely.  The >= 2x speedup target only makes sense with cores to
+    spend, so it is asserted on >= 4-core machines; everywhere else
+    the row is recorded and correctness (byte-identical pages) is
+    still enforced.
+    """
+    engine = _build(corpus, 4)
+
+    monkeypatch.delenv(KIND_ENV, raising=False)
+    shutdown_executor()
+    thread_rps, thread_seconds = _drive(engine)
+    thread_page = _page_ids(engine, QUERIES[0])
+
+    monkeypatch.setenv(KIND_ENV, "process")
+    monkeypatch.setenv(WIDTH_ENV, "4")
+    process_rps, process_seconds = _drive(engine)
+    process_page = _page_ids(engine, QUERIES[0])
+    shutdown_process_executor()
+    monkeypatch.delenv(KIND_ENV, raising=False)
+    monkeypatch.delenv(WIDTH_ENV, raising=False)
+    shutdown_executor()
+
+    assert process_page == thread_page
+    ratio = process_rps / thread_rps
+    cores = os.cpu_count() or 1
+    print_table(
+        "E16: thread vs process executor, 4 shards, columnar ranking",
+        ["cores", "thread req/s", "process req/s", "speedup"],
+        [[cores, thread_rps, process_rps, ratio]],
+        note="speedup target (>= 2x at 4 workers) asserted only on "
+             ">= 4-core machines; worker warm-up is included",
+    )
+    RESULTS["process_mode"] = {
+        "cores": cores,
+        "thread_rps": thread_rps,
+        "thread_seconds": thread_seconds,
+        "process_rps": process_rps,
+        "process_seconds": process_seconds,
+        "speedup": ratio,
+    }
+    if cores >= 4:
+        assert ratio >= 2.0

@@ -25,7 +25,6 @@ not the GIL — are the contended resource, which is the regime the
 controller is designed for (I/O-bound shard reads).
 """
 
-import json
 import os
 import time
 from concurrent.futures import wait
@@ -62,17 +61,6 @@ RESULTS = {
     "scenarios": {},
     "cost_gate": {},
 }
-
-
-@pytest.fixture(scope="module", autouse=True)
-def emit_json():
-    yield
-    RESULTS["written_at"] = time.time()
-    path = os.path.join(os.environ.get("BENCH_DIR", "."),
-                        "BENCH_e17_load_control.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(RESULTS, handle, indent=2)
-    print(f"\nwrote {path}")
 
 
 @pytest.fixture(autouse=True)

@@ -71,17 +71,6 @@ RESULTS = {
 }
 
 
-@pytest.fixture(scope="module", autouse=True)
-def emit_json():
-    yield
-    RESULTS["written_at"] = time.time()
-    path = os.path.join(os.environ.get("BENCH_DIR", "."),
-                        "BENCH_e18_gateway.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(RESULTS, handle, indent=2)
-    print(f"\nwrote {path}")
-
-
 @pytest.fixture(autouse=True)
 def _pinned_executor(monkeypatch):
     monkeypatch.setenv(WIDTH_ENV, str(EXECUTOR_WIDTH))

@@ -15,7 +15,6 @@ Emits ``BENCH_e19_kgql.json``.  CI runs a reduced shape via the
 ``E19_*`` env knobs.
 """
 
-import json
 import os
 import random
 import time
@@ -45,17 +44,6 @@ RESULTS = {
     "query": THREE_HOP_QUERY,
     "scenarios": {},
 }
-
-
-@pytest.fixture(scope="module", autouse=True)
-def emit_json():
-    yield
-    RESULTS["written_at"] = time.time()
-    path = os.path.join(os.environ.get("BENCH_DIR", "."),
-                        "BENCH_e19_kgql.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(RESULTS, handle, indent=2)
-    print(f"\nwrote {path}")
 
 
 def _percentile(values, fraction):

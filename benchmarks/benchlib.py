@@ -1,13 +1,95 @@
-"""Shared helpers for the experiment benchmarks (E1-E14).
+"""Shared helpers for the experiment benchmarks (E1-E20).
 
 Each ``bench_eNN_*.py`` file regenerates one table/figure/claim from the
 paper's evaluation; this module provides the table printer every
 experiment uses, so benchmark output reads like the paper's rows.
+
+Every benchmark module also emits a machine-readable
+``BENCH_<experiment>.json`` artifact (the CI bench-smoke job uploads
+them).  Emission is uniform and automatic — an autouse fixture in
+``conftest.py`` calls :func:`emit_artifact` at module teardown, merging
+the module's optional ``RESULTS`` dict with provenance every artifact
+carries: git SHA, core count, Python version, the ``REPRO_*`` and
+per-experiment env knobs in effect, and per-test wall-clock durations.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import subprocess
+import time
 from typing import Any, Sequence
+
+#: Module path -> {test name -> call-phase seconds}; filled by the
+#: ``pytest_runtest_logreport`` hook in ``conftest.py``.
+_DURATIONS: dict[str, dict[str, float]] = {}
+
+
+def record_duration(nodeid: str, seconds: float) -> None:
+    """Record one test's call-phase duration (conftest hook helper)."""
+    if "::" not in nodeid:
+        return
+    module_path, test_name = nodeid.split("::", 1)
+    module = os.path.splitext(os.path.basename(module_path))[0]
+    _DURATIONS.setdefault(module, {})[test_name] = seconds
+
+
+def git_sha() -> str:
+    """The repo's HEAD commit, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _knobs(experiment: str) -> dict[str, str]:
+    """Env knobs in effect: ``REPRO_*`` plus this experiment's own.
+
+    ``e16_scatter_gather`` reads ``E16_*``; the prefix is derived from
+    the experiment name so new benchmarks get it for free.
+    """
+    prefixes = ["REPRO_", "BENCH_DIR"]
+    head = experiment.split("_", 1)[0]
+    if head:
+        prefixes.append(head.upper() + "_")
+    return {
+        name: value for name, value in sorted(os.environ.items())
+        if any(name.startswith(prefix) for prefix in prefixes)
+    }
+
+
+def emit_artifact(module: Any) -> str:
+    """Write ``BENCH_<experiment>.json`` for a finished benchmark module.
+
+    The payload is the module's ``RESULTS`` dict (if it defines one)
+    plus uniform ``provenance`` and ``test_durations`` sections, so
+    artifacts from different experiments are comparable run-to-run.
+    """
+    module_name = getattr(module, "__name__", str(module))
+    experiment = module_name.removeprefix("bench_")
+    payload = dict(getattr(module, "RESULTS", {}) or {})
+    payload.setdefault("experiment", experiment)
+    payload["provenance"] = {
+        "git_sha": git_sha(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "knobs": _knobs(experiment),
+    }
+    payload["test_durations"] = _DURATIONS.get(module_name, {})
+    payload["written_at"] = time.time()
+    path = os.path.join(os.environ.get("BENCH_DIR", "."),
+                        f"BENCH_{experiment}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nwrote {path}")
+    return path
 
 
 def print_table(title: str, header: Sequence[str],

@@ -4,9 +4,24 @@ from __future__ import annotations
 
 import pytest
 
+import benchlib
+
 from repro.classify.dataset import MetadataDataset
 from repro.corpus.generator import CorpusGenerator, GeneratorConfig
 from repro.text.vocabulary import Vocabulary
+
+
+def pytest_runtest_logreport(report):
+    """Collect call-phase durations for the benchmark artifacts."""
+    if report.when == "call":
+        benchlib.record_duration(report.nodeid, report.duration)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact(request):
+    """Every benchmark module emits a uniform ``BENCH_*.json``."""
+    yield
+    benchlib.emit_artifact(request.module)
 
 
 @pytest.fixture(scope="session")

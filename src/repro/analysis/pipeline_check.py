@@ -420,6 +420,11 @@ def _check_cond(operand: Any, index: int, stage: str, problem) -> None:
 #: field comparison).
 FUNCTION_COST_FACTOR = 4.0
 
+#: Cost multiplier for a ``$function`` stage the engine can execute on
+#: the columnar numpy kernels (:mod:`repro.search.columnar`): no
+#: per-document Python, so it prices like a cheap linear stage.
+KERNEL_FUNCTION_COST_FACTOR = 1.0
+
 #: Worst-case fan-out assumed for ``$unwind`` when the array length is
 #: unknowable statically.
 UNWIND_FANOUT = 4.0
@@ -457,7 +462,8 @@ class PipelineCostEstimate:
 
 
 def estimate_pipeline_cost(pipeline: Any,
-                           shard_document_counts: Any
+                           shard_document_counts: Any,
+                           function_cost_factor: float = FUNCTION_COST_FACTOR
                            ) -> PipelineCostEstimate:
     """Price ``pipeline`` against per-shard document counts, worst case.
 
@@ -467,6 +473,10 @@ def estimate_pipeline_cost(pipeline: Any,
     sum over shards of that shard's worst-case flow — which for the
     linear stages equals pricing the union, and for sorts is *cheaper*
     than one global sort, matching the scatter-gather execution model.
+
+    ``function_cost_factor`` prices ``$function`` stages; callers that
+    know the query runs on the columnar kernels pass
+    :data:`KERNEL_FUNCTION_COST_FACTOR` instead of the scalar default.
 
     Unknown or malformed stages are priced conservatively (cost = docs
     in, docs out = docs in); shape errors are
@@ -504,7 +514,7 @@ def estimate_pipeline_cost(pipeline: Any,
                 cost = docs * _log2(docs)
                 docs_out = docs
         elif name == "$function":
-            cost = docs * FUNCTION_COST_FACTOR
+            cost = docs * function_cost_factor
             docs_out = docs
         elif name in ("$skip", "$limit"):
             cost = docs
@@ -533,7 +543,10 @@ def estimate_pipeline_cost(pipeline: Any,
             cost = docs
             if isinstance(spec, dict):
                 for sub_stages in spec.values():
-                    sub = estimate_pipeline_cost(sub_stages, [docs])
+                    sub = estimate_pipeline_cost(
+                        sub_stages, [docs],
+                        function_cost_factor=function_cost_factor,
+                    )
                     cost += sub.total_cost
             docs_out = 1.0 if docs else 0.0
         else:

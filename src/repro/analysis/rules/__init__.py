@@ -21,6 +21,7 @@ from repro.analysis.rules.generic import (
     MutableDefaultArg,
     SwallowedAggregationError,
 )
+from repro.analysis.rules.perf import PerDocumentScoringLoop
 
 __all__ = [
     "default_rules",
@@ -32,6 +33,7 @@ __all__ = [
     "AbandonedFutureGather",
     "MutableDefaultArg",
     "BareExcept",
+    "PerDocumentScoringLoop",
     "SwallowedAggregationError",
 ]
 
@@ -48,5 +50,6 @@ def default_rules() -> list[LintRule]:
         NondeterministicRankFunction(),
         AbandonedFutureGather(),
         BlockingCallInAsync(),
+        PerDocumentScoringLoop(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

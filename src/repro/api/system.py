@@ -70,6 +70,17 @@ class CovidKGConfig:
     classifier: str = "svm"
     classifier_epochs: int = 4
     seed: int = 0
+    #: Ranking function for the three search engines: ``"tfidf"`` (the
+    #: paper's TF-IDF + proximity + static scorer) or ``"bm25"``
+    #: (Okapi BM25 with per-field length normalization, tuned by
+    #: ``bm25_k1``/``bm25_b``).  Either runs on the columnar kernels.
+    ranker: str = "tfidf"
+    bm25_k1: float = 1.5
+    bm25_b: float = 0.75
+    #: Run eligible queries on the columnar numpy kernels
+    #: (:mod:`repro.search.columnar`).  Results are byte-identical to
+    #: the scalar pipeline; disable only to force the reference path.
+    columnar: bool = True
     #: Pre-flight validate every search pipeline before execution
     #: (stage names, operators, ``$function`` resolution against the
     #: system registry); see :mod:`repro.analysis.pipeline_check`.
@@ -93,21 +104,29 @@ class CovidKG:
         # $function registry (seeded from the global defaults) so ranking
         # functions registered here never leak into another system.
         self.functions = FunctionRegistry.with_defaults()
+        ranker_kwargs = {
+            "ranker": self.config.ranker,
+            "bm25_k1": self.config.bm25_k1,
+            "bm25_b": self.config.bm25_b,
+        }
         self.all_fields = AllFieldsEngine(
             registry=self.functions,
             num_shards=self.config.search_shards,
+            **ranker_kwargs,
         )
         self.title_abstract = TitleAbstractCaptionEngine(
             registry=self.functions,
             num_shards=self.config.search_shards,
+            **ranker_kwargs,
         )
         self.tables = TableSearchEngine(
             registry=self.functions,
             num_shards=self.config.search_shards,
+            **ranker_kwargs,
         )
-        if self.config.validate_pipelines:
-            for engine in (self.all_fields, self.title_abstract,
-                           self.tables):
+        for engine in (self.all_fields, self.title_abstract, self.tables):
+            engine.use_columnar = self.config.columnar
+            if self.config.validate_pipelines:
                 engine.validate_pipelines = True
         # Section 4: matching/fusion/review/enrichment.
         self.review_queue = ExpertReviewQueue()
@@ -401,6 +420,8 @@ class CovidKG:
             "storage_bytes": self.storage().total_bytes,
             "shard_sizes": self.store.shard_sizes(),
             "executor_width": executor_width(),
+            "ranker": self.config.ranker,
+            "columnar": self.config.columnar,
             "pending_reviews": len(self.review_queue.pending()),
             "registered_models": len(self.registry),
         }

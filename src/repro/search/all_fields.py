@@ -8,6 +8,7 @@ expands and collapses.
 
 from __future__ import annotations
 
+from repro.search.columnar import MatchPlan
 from repro.search.engine import SearchEngineBase, SearchResult, SearchResults
 from repro.search.indexing import ALL_SEARCH_FIELDS
 from repro.search.query import match_filter, parse_query
@@ -22,7 +23,10 @@ class AllFieldsEngine(SearchEngineBase):
         match_stage = match_filter(parsed, ALL_SEARCH_FIELDS,
                                    expander=self.expander)
         paged, total, seconds = self._run_pipeline(
-            parsed, match_stage, ALL_SEARCH_FIELDS, page
+            parsed, match_stage, ALL_SEARCH_FIELDS, page,
+            match_plan=MatchPlan.terms_over_fields(
+                parsed, ALL_SEARCH_FIELDS
+            ),
         )
         results = []
         for document in paged.documents:

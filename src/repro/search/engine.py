@@ -21,6 +21,12 @@ An engine built with ``num_shards > 1`` stores its index in a
 :class:`~repro.docstore.sharding.ShardedCollection` and evaluates the
 ``$match``/``$project``/``$function`` prefix per shard in parallel
 (scatter-gather on the shared executor), merging per-shard top-k heaps.
+
+When a query is expressible as batch array operations the whole
+match/score/top-k path instead runs on the columnar numpy kernels of
+:mod:`repro.search.columnar` — byte-identical results, no per-document
+Python — falling back to the scalar pipeline for quoted phrases,
+synonym expansion, or custom ranking functions.
 """
 
 from __future__ import annotations
@@ -40,9 +46,14 @@ from repro.docstore.collection import Collection
 from repro.docstore.functions import FunctionRegistry
 from repro.docstore.sharding import ShardedCollection
 from repro.errors import QueryError
+from repro.search import columnar
 from repro.search.indexing import ALL_SEARCH_FIELDS, build_search_document
-from repro.search.query import ParsedQuery
-from repro.search.ranking import RankingFunction
+from repro.search.query import ParsedQuery, parse_query
+from repro.search.ranking import (
+    BM25RankingFunction,
+    FieldLengthStats,
+    RankingFunction,
+)
 from repro.text.stemmer import stem
 from repro.text.tfidf import TfIdfModel
 from repro.text.tokenizer import tokenize
@@ -104,8 +115,15 @@ class SearchEngineBase:
     #: the serving tier turns it on via ``ServeConfig.validate_pipelines``.
     validate_pipelines: bool = False
 
+    #: Engage the columnar numpy kernels whenever a query is eligible
+    #: (see :func:`repro.search.columnar.build_query_spec`); ``False``
+    #: forces the scalar ``$match``/``$project``/``$function`` pipeline.
+    use_columnar: bool = True
+
     def __init__(self, registry: FunctionRegistry | None = None,
-                 expander=None, num_shards: int = 1) -> None:
+                 expander=None, num_shards: int = 1,
+                 ranker: str = "tfidf", bm25_k1: float = 1.5,
+                 bm25_b: float = 0.75) -> None:
         self.collection: Collection | ShardedCollection
         if num_shards > 1:
             self.collection = ShardedCollection(
@@ -117,9 +135,27 @@ class SearchEngineBase:
         self.tfidf = TfIdfModel()
         self.registry = registry or FunctionRegistry()
         self.expander = expander
-        self.ranking = RankingFunction(self.tfidf, expander=expander)
+        self.field_stats = FieldLengthStats()
+        self.ranker = ranker
+        if ranker == "bm25":
+            self.ranking: RankingFunction = BM25RankingFunction(
+                self.tfidf, expander=expander, stats=self.field_stats,
+                k1=bm25_k1, b=bm25_b,
+            )
+        elif ranker == "tfidf":
+            self.ranking = RankingFunction(self.tfidf, expander=expander)
+        else:
+            raise QueryError(
+                f"unknown ranker {ranker!r} (expected 'tfidf' or 'bm25')"
+            )
         self._indexed = 0
         self._rank_serial = itertools.count(1)
+        # Version-stamped columnar index; rebuilt lazily whenever the
+        # docstore/model stamp moves.  A rebuild race between readers
+        # merely duplicates work (assignment is atomic; both builds see
+        # the same snapshot) — ingest vs read is serialized by the
+        # serving tier's data lock, as for every other read path.
+        self._columnar: columnar.ColumnarIndex | None = None
 
     # -- ingest -------------------------------------------------------------
 
@@ -129,7 +165,10 @@ class SearchEngineBase:
         stems = []
         for field_name in ALL_SEARCH_FIELDS:
             text = self._field_text(document, field_name)
-            stems.extend(stem(token) for token in tokenize(text))
+            tokens = tokenize(text)
+            self.field_stats.observe(field_name, len(tokens))
+            stems.extend(stem(token) for token in tokens)
+        self.field_stats.add_document()
         self.tfidf.add_document_tokens(stems)
         self.collection.insert_one(document)
         self._indexed += 1
@@ -178,12 +217,81 @@ class SearchEngineBase:
             return self.collection.shard_sizes()
         return [len(self.collection)]
 
+    def rank_cost_factor(self, queries: list[str | None]) -> float:
+        """The ``$function`` stage's cost multiplier for these queries.
+
+        Admission control prices the scalar ranking closure at
+        ``FUNCTION_COST_FACTOR`` work units per document; when every
+        query would take the columnar kernel path the per-document work
+        collapses to a few array lookups, priced at
+        ``KERNEL_FUNCTION_COST_FACTOR``.  Unparseable/empty queries are
+        priced at the scalar factor — over-charging a request that will
+        be rejected anyway is harmless.
+        """
+        from repro.analysis.pipeline_check import (
+            FUNCTION_COST_FACTOR,
+            KERNEL_FUNCTION_COST_FACTOR,
+        )
+
+        if not self.use_columnar or self.full_sort:
+            return FUNCTION_COST_FACTOR
+        if not columnar.HAVE_NUMPY or self.expander is not None:
+            return FUNCTION_COST_FACTOR
+        if type(self.ranking) not in (RankingFunction, BM25RankingFunction):
+            return FUNCTION_COST_FACTOR
+        # Query-side loops, bounded by query length — not per-document.
+        for query in queries:  # lint: allow=REP207
+            if not query:
+                continue
+            try:
+                parsed = parse_query(str(query))
+            except QueryError:
+                return FUNCTION_COST_FACTOR
+            for term in parsed.terms:  # lint: allow=REP207
+                if term.exact or \
+                        not columnar._ALNUM_RE.match(term.text) or \
+                        not columnar._ALNUM_RE.match(stem(term.text)):
+                    return FUNCTION_COST_FACTOR
+        return KERNEL_FUNCTION_COST_FACTOR
+
     # -- evaluation -------------------------------------------------------------
+
+    def _columnar_index(self) -> columnar.ColumnarIndex:
+        """The version-stamped columnar index, rebuilt when stale."""
+        stamp = columnar.stamp_for(self.collection,
+                                   self.tfidf.num_documents)
+        index = self._columnar
+        if index is None or index.stamp != stamp:
+            index = columnar.build_index(
+                self.collection, ALL_SEARCH_FIELDS, stamp
+            )
+            self._columnar = index
+        return index
+
+    def _rank_columnar(self, spec: columnar.QuerySpec, skip: int,
+                       top_k: int) -> tuple[AggregationResult, int]:
+        """Kernel ranking: numpy match+score per shard, exact merge."""
+        index = self._columnar_index()
+        kernel_started = time.perf_counter()
+        total, merged = index.rank(spec, top_k)
+        page_entries = merged[skip:]
+        documents = index.fetch(
+            page_entries, {name: 1 for name in PROJECTED_FIELDS}
+        )
+        seconds = time.perf_counter() - kernel_started
+        stages = [
+            StageStats(f"$columnar({spec.ranker})", index.num_rows,
+                       total, seconds),
+            StageStats("$sort(top-k)", total, len(documents), 0.0),
+        ]
+        return AggregationResult(documents, stages), total
 
     def _run_pipeline(self, parsed: ParsedQuery,
                       match_stage: dict[str, Any],
                       rank_fields: list[str],
-                      page: int) -> tuple[AggregationResult, int, float]:
+                      page: int,
+                      match_plan: columnar.MatchPlan | None = None
+                      ) -> tuple[AggregationResult, int, float]:
         """Execute the canonical pipeline; returns (page, total, seconds).
 
         The ``$match``/``$project``/``$function`` prefix always runs
@@ -194,6 +302,18 @@ class SearchEngineBase:
         """
         if page < 1:
             raise QueryError("pages are 1-based")
+        skip = (page - 1) * PAGE_SIZE
+        top_k = page * PAGE_SIZE
+        if match_plan is not None and self.use_columnar \
+                and not self.full_sort:
+            spec = columnar.build_query_spec(
+                parsed, match_plan, rank_fields, self.ranking,
+                ALL_SEARCH_FIELDS,
+            )
+            if spec is not None:
+                started = time.perf_counter()
+                paged, total = self._rank_columnar(spec, skip, top_k)
+                return paged, total, time.perf_counter() - started
         # A per-invocation name: concurrent queries against the same
         # engine (the serving tier runs readers in parallel) must not
         # overwrite each other's scorer between register and evaluate.
@@ -207,8 +327,6 @@ class SearchEngineBase:
             {"$project": {name: 1 for name in PROJECTED_FIELDS}},
             {"$function": {"name": function_name, "as": "score"}},
         ]
-        skip = (page - 1) * PAGE_SIZE
-        top_k = page * PAGE_SIZE
         try:
             if self.validate_pipelines:
                 from repro.analysis.pipeline_check import \

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.search.columnar import MatchPlan
 from repro.search.engine import SearchEngineBase, SearchResult, SearchResults
 from repro.search.query import ParsedQuery, match_filter, parse_query
 from repro.search.snippets import highlight, snippet
@@ -63,7 +64,8 @@ class TableSearchEngine(SearchEngineBase):
         parsed = parse_query(query)
         match_stage = match_filter(parsed, _TABLE_FIELDS)
         paged, total, seconds = self._run_pipeline(
-            parsed, match_stage, _TABLE_FIELDS, page
+            parsed, match_stage, _TABLE_FIELDS, page,
+            match_plan=MatchPlan.terms_over_fields(parsed, _TABLE_FIELDS),
         )
         results = []
         for document in paged.documents:

@@ -12,6 +12,7 @@ abstract".
 from __future__ import annotations
 
 from repro.errors import QueryError
+from repro.search.columnar import MatchPlan
 from repro.search.engine import SearchEngineBase, SearchResult, SearchResults
 from repro.search.query import ParsedQuery, field_match_filter, parse_query
 from repro.search.snippets import highlight, snippet
@@ -56,7 +57,11 @@ class TitleAbstractCaptionEngine(SearchEngineBase):
         )
         rank_fields = [_FIELD_MAP[name] for name in queries]
         paged, total, seconds = self._run_pipeline(
-            merged, match_stage, rank_fields, page
+            merged, match_stage, rank_fields, page,
+            match_plan=MatchPlan.fields_over_terms([
+                (_FIELD_MAP[name], parsed)
+                for name, parsed in queries.items()
+            ]),
         )
 
         results = []

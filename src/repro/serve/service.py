@@ -444,9 +444,15 @@ class QueryService:
         }
         target = search_engines.get(engine)
         if target is not None:
+            if engine == "title_abstract":
+                queries = [params.get(name)
+                           for name in ("title", "abstract", "caption")]
+            else:
+                queries = [params.get("query")]
             return estimate_pipeline_cost(
                 target.pipeline_plan(page=page),
                 target.shard_document_counts(),
+                function_cost_factor=target.rank_cost_factor(queries),
             )
         if engine == "kg":
             # Graph search scores every node once.

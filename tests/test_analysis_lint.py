@@ -380,3 +380,77 @@ def test_repo_is_clean_against_checked_in_baseline():
         "`repro-covidkg analyze --update-baseline`):\n"
         + "\n".join(str(f) for f in fresh)
     )
+
+
+# -- REP207: per-document scoring loops (path-restricted) ------------------
+
+_REP207_HOT_LOOP = """
+def scorer(documents, idf):
+    scores = []
+    for document in documents:
+        scores.append(compute_score(document, idf))
+    return scores
+"""
+
+
+def _lint_rep207(text: str, path: str) -> list[Finding]:
+    from repro.analysis.rules import PerDocumentScoringLoop
+    return lint_source(Source(path, text), [PerDocumentScoringLoop()])
+
+
+def test_rep207_fires_on_search_hot_path():
+    findings = _lint_rep207(_REP207_HOT_LOOP,
+                            "src/repro/search/ranking.py")
+    assert [f.rule for f in findings] == ["REP207"]
+    assert "scorer()" in findings[0].message
+
+
+def test_rep207_is_silent_outside_repro_search():
+    assert _lint_rep207(_REP207_HOT_LOOP, "src/repro/kg/fusion.py") == []
+
+
+def test_rep207_ignores_non_scoring_functions():
+    text = """
+def ingest(documents):
+    for document in documents:
+        normalize_score_field(document)
+"""
+    assert _lint_rep207(text, "src/repro/search/engine.py") == []
+
+
+def test_rep207_ignores_bookkeeping_loops_in_scoring_functions():
+    text = """
+def rank(entries):
+    out = []
+    for entry in entries:
+        out.append(entry)
+    return out
+"""
+    assert _lint_rep207(text, "src/repro/search/engine.py") == []
+
+
+def test_rep207_flags_nested_loop_once_per_line():
+    text = """
+def score_all(documents, terms):
+    total = 0.0
+    for document in documents:
+        for term in terms:
+            total += term_score(document, term)
+    return total
+"""
+    findings = _lint_rep207(text, "src/repro/search/ranking.py")
+    assert [f.rule for f in findings] == ["REP207", "REP207"]
+    assert len({f.line for f in findings}) == 2
+
+
+def test_rep207_respects_inline_allow():
+    text = """
+def scorer(documents, idf):
+    # Reference implementation for the differential tests.
+    for document in documents:  # lint: allow=REP207
+        yield compute_score(document, idf)
+"""
+    source = Source("src/repro/search/ranking.py", text)
+    from repro.analysis.rules import PerDocumentScoringLoop
+    findings = lint_source(source, [PerDocumentScoringLoop()])
+    assert findings == []

@@ -1,0 +1,341 @@
+"""The columnar ranking kernels: byte-identity, BM25, invalidation.
+
+The contract under test is strict: for every query the kernel accepts,
+the result page must be *byte-identical* to the scalar ``$function``
+pipeline — same paper ids, same float scores (not approximately: the
+kernel reproduces the scalar arithmetic op for op), same tie-break
+order.  Queries the kernel cannot express must fall back to the scalar
+path silently.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+
+import pytest
+
+from repro.docstore.executor import (
+    KIND_ENV,
+    WIDTH_ENV,
+    shutdown_executor,
+    shutdown_process_executor,
+)
+from repro.docstore.functions import FunctionRegistry
+from repro.search import columnar
+from repro.search.all_fields import AllFieldsEngine
+from repro.search.query import parse_query
+from repro.search.ranking import (
+    BM25RankingFunction,
+    FieldLengthStats,
+    RankingFunction,
+    bm25_idf,
+)
+from repro.search.table_search import TableSearchEngine
+from repro.search.title_abstract import TitleAbstractCaptionEngine
+from repro.text.tfidf import TfIdfModel
+
+pytestmark = pytest.mark.skipif(
+    not columnar.HAVE_NUMPY, reason="columnar kernels require numpy"
+)
+
+WORDS = ("covid vaccine vaccinated spike protein trial mask masks "
+         "transmission antibody variant lockdown serology genome "
+         "mutation immunity dose efficacy symptom fever cough "
+         "hospital icu").split()
+
+QUERIES = [
+    "covid",                 # single common term
+    "vaccine trial",         # multi-term, proximity bonus in play
+    "mask transmission icu", # three terms, sparse co-occurrence
+    "vaccin",                # stem that prefixes many corpus words
+    "zebra",                 # no matches at all
+    "covid-19",              # punctuation: must fall back, still agree
+    "19",                    # numeric term
+]
+
+
+def _make_paper(rng: random.Random, i: int) -> dict:
+    def text(n):
+        return " ".join(rng.choice(WORDS) for _ in range(n))
+    return {
+        "paper_id": f"p{i:05d}",
+        "title": text(rng.randint(3, 8)),
+        "abstract": text(rng.randint(10, 40)),
+        "body_text": [{"section": "s", "text": text(rng.randint(20, 90))}],
+        "publish_time": f"20{rng.randint(19, 22)}-01-01",
+        "journal": "J",
+        "authors": [{"first": "A", "last": "B"}],
+        "tables": [{"table_id": f"t{i}", "caption": text(4),
+                    "rows": [{"cells": [{"text": text(2)}]}]}]
+        if rng.random() < 0.5 else [],
+        "figures": [{"caption": text(3)}] if rng.random() < 0.5 else [],
+    }
+
+
+def _build(engine_cls, num_shards, num_papers=120, seed=11, **kwargs):
+    rng = random.Random(seed)
+    engine = engine_cls(FunctionRegistry(), num_shards=num_shards,
+                        **kwargs)
+    for i in range(num_papers):
+        engine.add_paper(_make_paper(rng, i))
+    return engine
+
+
+def _page(results):
+    return [(hit.paper_id, hit.score) for hit in results.results]
+
+
+def _stages(results):
+    return [stats.stage for stats in results.stage_stats]
+
+
+# -- differential: kernel vs scalar vs full sort ---------------------------
+
+@pytest.mark.parametrize("num_shards", [1, 3])
+@pytest.mark.parametrize("ranker", ["tfidf", "bm25"])
+def test_kernel_is_byte_identical_to_scalar(num_shards, ranker):
+    engine = _build(AllFieldsEngine, num_shards, ranker=ranker)
+    for query in QUERIES:
+        for page in (1, 2):
+            kernel = engine.search(query, page=page)
+            engine.use_columnar = False
+            scalar = engine.search(query, page=page)
+            engine.full_sort = True
+            reference = engine.search(query, page=page)
+            engine.full_sort = False
+            engine.use_columnar = True
+
+            assert _page(kernel) == _page(scalar), (query, page)
+            assert _page(kernel) == _page(reference), (query, page)
+            assert kernel.total_matches == scalar.total_matches
+
+
+def test_kernel_engages_for_plain_queries():
+    engine = _build(AllFieldsEngine, 2)
+    results = engine.search("covid vaccine")
+    assert any("columnar" in stage for stage in _stages(results))
+    # The stage advertises the active ranker.
+    assert "$columnar(tfidf)" in _stages(results)
+
+
+def test_title_abstract_and_table_engines_take_the_kernel():
+    for engine_cls, kwargs in [
+        (TableSearchEngine, {}),
+        (TitleAbstractCaptionEngine, {}),
+    ]:
+        engine = _build(engine_cls, 2, **kwargs)
+        if engine_cls is TitleAbstractCaptionEngine:
+            kernel = engine.search(title="covid", abstract="vaccine trial")
+            engine.use_columnar = False
+            scalar = engine.search(title="covid", abstract="vaccine trial")
+        else:
+            kernel = engine.search("covid protein")
+            engine.use_columnar = False
+            scalar = engine.search("covid protein")
+        engine.use_columnar = True
+        assert any("columnar" in stage for stage in _stages(kernel))
+        assert _page(kernel) == _page(scalar)
+
+
+# -- fallback: queries the kernel cannot express ---------------------------
+
+def test_quoted_phrase_falls_back_to_scalar():
+    engine = _build(AllFieldsEngine, 2)
+    results = engine.search('"vaccine trial"')
+    assert not any("columnar" in stage for stage in _stages(results))
+    engine.use_columnar = False
+    assert _page(engine.search('"vaccine trial"')) == _page(results)
+
+
+def test_expander_falls_back_to_scalar():
+    class FakeExpander:
+        def expand(self, term):
+            return [("immunization", 0.5)] if term == "vaccine" else []
+
+    engine = _build(AllFieldsEngine, 2)
+    engine.expander = FakeExpander()
+    engine.ranking.expander = engine.expander
+    results = engine.search("vaccine")
+    assert not any("columnar" in stage for stage in _stages(results))
+
+
+def test_custom_ranking_subclass_falls_back_to_scalar():
+    engine = _build(AllFieldsEngine, 2)
+
+    class Doubled(RankingFunction):
+        def _word_score(self, tf, dl, avgdl, planned):
+            return 2.0 * super()._word_score(tf, dl, avgdl, planned)
+
+    engine.ranking = Doubled(engine.tfidf)
+    results = engine.search("covid")
+    assert not any("columnar" in stage for stage in _stages(results))
+
+
+def test_full_sort_disables_the_kernel():
+    engine = _build(AllFieldsEngine, 1)
+    engine.full_sort = True
+    results = engine.search("covid")
+    assert not any("columnar" in stage for stage in _stages(results))
+
+
+# -- BM25 golden values ----------------------------------------------------
+
+def test_bm25_word_score_matches_hand_computation():
+    """One word, one field: the score is the textbook formula, exactly."""
+    model = TfIdfModel()
+    model.add_document_tokens(["vaccin", "trial", "covid"])
+    model.add_document_tokens(["vaccin", "vaccin", "mask"])
+    model.add_document_tokens(["covid", "mask", "fever"])
+    stats = FieldLengthStats()
+    for length in (3, 3, 3):
+        stats.observe("search.title", length)
+        stats.add_document()
+
+    k1, b = 1.2, 0.6
+    ranking = BM25RankingFunction(
+        model, {"search.title": 1.0}, stats=stats, k1=k1, b=b,
+    )
+    document = {"search": {"title": "vaccine vaccinated trial"}}
+    score = ranking.score(parse_query("vaccine"), document,
+                          ["search.title"])
+
+    # Hand-computed: stem("vaccine") = stem("vaccinated") = "vaccin",
+    # so tf = 2 in a field of length dl = 3 with avgdl = 3.
+    tf, dl, avgdl = 2, 3, 3.0
+    idf = math.log(1.0 + (3 - 2 + 0.5) / (2 + 0.5))
+    norm = k1 * (1.0 - b + b * (dl / avgdl))
+    word = idf * (tf * (k1 + 1.0)) / (tf + norm)
+    # Single-term query: no proximity bonus.  No static_rank: the
+    # static score defaults to recency(2020) = 1.0, weighted by 0.1.
+    assert score == word + 0.1 * 1.0
+
+
+def test_bm25_idf_golden_values():
+    assert bm25_idf(100, 1) == math.log(1.0 + 99.5 / 1.5)
+    assert bm25_idf(100, 100) == math.log(1.0 + 0.5 / 100.5)
+    assert bm25_idf(3, 2) == math.log(1.0 + 1.5 / 2.5)
+
+
+def test_bm25_engine_ranks_by_the_same_formula():
+    """End to end: the engine's BM25 page ordering is reproducible."""
+    engine = _build(AllFieldsEngine, 1, num_papers=50, ranker="bm25",
+                    bm25_k1=1.2, bm25_b=0.5)
+    assert engine.ranking.k1 == 1.2 and engine.ranking.b == 0.5
+    results = engine.search("vaccine trial")
+    assert "$columnar(bm25)" in _stages(results)
+    scores = [hit.score for hit in results.results]
+    assert scores == sorted(scores, reverse=True)
+    # Rescore the top hit through the scalar ranking function.
+    top = results.results[0]
+    documents = engine.collection.find(
+        {"paper_id": top.paper_id}
+    ).to_list()
+    expected = engine.ranking.score(
+        parse_query("vaccine trial"), documents[0],
+        list(engine.ranking.field_weights),
+    )
+    assert top.score == expected
+
+
+def test_tfidf_and_bm25_disagree_on_order_eventually():
+    """The knob is real: the two rankers are not the same function."""
+    tfidf_engine = _build(AllFieldsEngine, 1, ranker="tfidf")
+    bm25_engine = _build(AllFieldsEngine, 1, ranker="bm25")
+    tfidf_scores = _page(tfidf_engine.search("vaccine trial"))
+    bm25_scores = _page(bm25_engine.search("vaccine trial"))
+    assert [s for _, s in tfidf_scores] != [s for _, s in bm25_scores]
+
+
+def test_unknown_ranker_is_rejected():
+    from repro.errors import QueryError
+    with pytest.raises(QueryError):
+        AllFieldsEngine(FunctionRegistry(), ranker="pagerank")
+
+
+# -- invalidation on docstore mutation -------------------------------------
+
+def test_index_is_reused_until_the_store_moves():
+    engine = _build(AllFieldsEngine, 2, num_papers=40)
+    engine.search("covid")
+    first = engine._columnar_index()
+    engine.search("vaccine")
+    assert engine._columnar_index() is first
+
+
+def test_mutation_invalidates_and_new_documents_rank():
+    engine = _build(AllFieldsEngine, 2, num_papers=40)
+    engine.search("covid")
+    stale = engine._columnar_index()
+
+    rng = random.Random(99)
+    paper = _make_paper(rng, 9999)
+    paper["title"] = "zebra zebra zebra"
+    engine.add_paper(paper)
+
+    results = engine.search("zebra")
+    assert engine._columnar_index() is not stale
+    assert any(hit.paper_id == "p09999" for hit in results.results)
+    engine.use_columnar = False
+    assert _page(engine.search("zebra")) == _page(results)
+
+
+# -- query-spec mechanics --------------------------------------------------
+
+def test_query_spec_is_picklable():
+    import pickle
+
+    engine = _build(AllFieldsEngine, 1, num_papers=30)
+    parsed = parse_query("covid vaccine")
+    from repro.search.indexing import ALL_SEARCH_FIELDS
+    spec = columnar.build_query_spec(
+        parsed,
+        columnar.MatchPlan.terms_over_fields(parsed, ALL_SEARCH_FIELDS),
+        ALL_SEARCH_FIELDS,
+        engine.ranking,
+        set(ALL_SEARCH_FIELDS),
+    )
+    assert spec is not None
+    assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+def test_spec_rejected_for_unfitted_model():
+    engine = AllFieldsEngine(FunctionRegistry())
+    parsed = parse_query("covid")
+    from repro.search.indexing import ALL_SEARCH_FIELDS
+    spec = columnar.build_query_spec(
+        parsed,
+        columnar.MatchPlan.terms_over_fields(parsed, ALL_SEARCH_FIELDS),
+        ALL_SEARCH_FIELDS,
+        engine.ranking,
+        set(ALL_SEARCH_FIELDS),
+    )
+    assert spec is None
+
+
+# -- process-pool executor -------------------------------------------------
+
+def test_process_mode_matches_thread_mode(monkeypatch):
+    engine = _build(AllFieldsEngine, 3, num_papers=60)
+    thread_pages = [_page(engine.search(q)) for q in QUERIES[:3]]
+
+    monkeypatch.setenv(KIND_ENV, "process")
+    monkeypatch.setenv(WIDTH_ENV, "2")
+    try:
+        process_pages = [_page(engine.search(q)) for q in QUERIES[:3]]
+        # Warm worker cache: a second pass must agree too.
+        warm_pages = [_page(engine.search(q)) for q in QUERIES[:3]]
+    finally:
+        shutdown_process_executor()
+        monkeypatch.delenv(KIND_ENV, raising=False)
+        monkeypatch.delenv(WIDTH_ENV, raising=False)
+        shutdown_executor()
+    assert process_pages == thread_pages
+    assert warm_pages == thread_pages
+
+
+def test_executor_kind_defaults_to_threads():
+    from repro.docstore.executor import executor_kind
+    assert os.environ.get(KIND_ENV) is None
+    assert executor_kind() == "thread"

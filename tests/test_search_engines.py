@@ -129,8 +129,16 @@ class TestAllFieldsEngine:
         assert len(results) == 0
 
     def test_match_stage_runs_first(self, all_fields):
+        # The columnar kernel fuses match+score into one stage; the
+        # scalar pipeline must still put $match first (paper Section 2.1).
         results = all_fields.search("masks")
-        assert results.stage_stats[0].stage.startswith("$match")
+        assert results.stage_stats[0].stage.startswith("$columnar")
+        all_fields.use_columnar = False
+        try:
+            results = all_fields.search("masks")
+            assert results.stage_stats[0].stage.startswith("$match")
+        finally:
+            all_fields.use_columnar = True
 
     def test_pagination(self):
         engine = AllFieldsEngine()
