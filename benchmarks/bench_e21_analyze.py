@@ -1,0 +1,131 @@
+"""E21 — analyzer caching: warm-cache analysis vs cold parse-everything.
+
+PR 8 replaces ``lint_paths`` with the engine
+(:mod:`repro.analysis.engine`): per-file parsing runs on a thread pool
+and its output — findings, module summary, suppression index — is
+cached under a content hash.  A warm run touches each file only to hash
+it; parsing, rule execution, and summary construction are skipped.
+
+This experiment measures that on the real repository:
+
+* cold vs warm full-repo analysis (the ISSUE's >= 5x floor, asserted
+  on the full tree);
+* findings must be *identical* between cold and warm before any speed
+  claim is made;
+* single-file edit: a warm run after touching one file re-analyzes
+  exactly that file.
+
+Reduced CI shape: ``E21_ROUNDS=1``.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+from benchlib import print_table
+
+from repro.analysis.engine import analyze_paths
+
+ROUNDS = int(os.environ.get("E21_ROUNDS", "3"))
+
+#: The ISSUE's warm/cold speedup floor for the full repository.
+SPEEDUP_TARGET = 5.0
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ANALYZE_PATHS = [REPO_ROOT / "src" / "repro", REPO_ROOT / "benchmarks"]
+
+RESULTS = {
+    "experiment": "e21_analyze",
+    "rounds": ROUNDS,
+}
+
+
+def _keyed(findings):
+    return [(f.rule, f.path, f.line, f.severity, f.message)
+            for f in findings]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("analysis-cache")
+
+
+def test_e21_warm_cache_speedup(cache_dir):
+    """The headline: hash-and-reuse vs parse-everything."""
+    cold_seconds = []
+    warm_seconds = []
+    cold_result = warm_result = None
+    for round_no in range(ROUNDS):
+        round_cache = cache_dir / f"round-{round_no}"
+        started = time.perf_counter()
+        cold_result = analyze_paths(ANALYZE_PATHS, root=REPO_ROOT,
+                                    cache_dir=round_cache)
+        cold_seconds.append(time.perf_counter() - started)
+        assert cold_result.cache_hits == 0
+
+        started = time.perf_counter()
+        warm_result = analyze_paths(ANALYZE_PATHS, root=REPO_ROOT,
+                                    cache_dir=round_cache)
+        warm_seconds.append(time.perf_counter() - started)
+        assert warm_result.cache_hits == warm_result.files
+        assert warm_result.analyzed_paths == []
+        # Correctness before speed: identical findings either way.
+        assert _keyed(warm_result.findings) == \
+            _keyed(cold_result.findings)
+
+    cold = min(cold_seconds)
+    warm = min(warm_seconds)
+    speedup = cold / warm if warm else float("inf")
+    print_table(
+        "E21: full-repo analysis, cold vs warm cache",
+        ["files", "cold s", "warm s", "speedup"],
+        [[cold_result.files, cold, warm, speedup]],
+        note=f"best of {ROUNDS} round(s); >= {SPEEDUP_TARGET:.0f}x "
+             "asserted; findings identical",
+    )
+    RESULTS["full_repo"] = {
+        "files": cold_result.files,
+        "findings": len(cold_result.findings),
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": speedup,
+    }
+    assert speedup >= SPEEDUP_TARGET
+
+
+def test_e21_single_edit_reanalyzes_one_file(cache_dir, tmp_path):
+    """Editing one file must cost one file, not a cold run."""
+    # Work on a copy so the benchmark never dirties the repository.
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    sources = sorted((REPO_ROOT / "src" / "repro").rglob("*.py"))
+    for source in sources:
+        relative = source.relative_to(REPO_ROOT)
+        target = corpus / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source.read_text(encoding="utf-8"),
+                          encoding="utf-8")
+
+    round_cache = cache_dir / "edit"
+    analyze_paths([corpus], root=corpus, cache_dir=round_cache)
+    edited = corpus / "src" / "repro" / "cli.py"
+    edited.write_text(edited.read_text(encoding="utf-8") +
+                      "\n# benchmark edit\n", encoding="utf-8")
+
+    started = time.perf_counter()
+    result = analyze_paths([corpus], root=corpus,
+                           cache_dir=round_cache)
+    seconds = time.perf_counter() - started
+    assert result.analyzed_paths == ["src/repro/cli.py"]
+    assert result.cache_hits == result.files - 1
+    print_table(
+        "E21: warm re-run after a single-file edit",
+        ["files", "re-analyzed", "seconds"],
+        [[result.files, len(result.analyzed_paths), seconds]],
+    )
+    RESULTS["single_edit"] = {
+        "files": result.files,
+        "reanalyzed": result.analyzed_paths,
+        "seconds": seconds,
+    }

@@ -7,7 +7,12 @@ parsing, suppression comments, stable ordering, and baseline diffing.
 Suppressing a finding
     Append ``# lint: allow=<rule-id>`` (comma-separate several ids, or
     ``allow=all``) to the flagged line, or put the comment alone on the
-    line directly above it.
+    line directly above it.  For decorated defs and multi-line
+    statements, a comment on the ``def``/opening line (or above the
+    first decorator) suppresses findings reported anywhere in the
+    statement header — rules anchor findings to different lines of the
+    same statement (the decorator, the ``def``, an argument default),
+    and one suppression should cover them all.
 
 Baselines
     A baseline is a JSON file recording accepted findings as
@@ -69,11 +74,19 @@ class Source:
         self.text = text
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=path)
+        self._suppressions: SuppressionIndex | None = None
 
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1]
         return ""
+
+    @property
+    def suppressions(self) -> "SuppressionIndex":
+        if self._suppressions is None:
+            self._suppressions = SuppressionIndex.from_ast(
+                self.lines, self.tree)
+        return self._suppressions
 
 
 class LintRule:
@@ -99,6 +112,29 @@ class LintRule:
         )
 
 
+class ProjectRule:
+    """Base for interprocedural rules: one pass over the whole project.
+
+    Unlike :class:`LintRule`, which sees one file, a project rule runs
+    once against the :class:`~repro.analysis.callgraph.ProjectIndex`
+    after every module summary is built.  Findings come back with empty
+    snippets; the engine fills those in (it already holds every file's
+    text) and applies suppression via the per-file
+    :class:`SuppressionIndex`.
+    """
+
+    rule_id: str = ""
+    severity: str = "warning"
+    description: str = ""
+
+    def check_project(self, index: Any) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, lineno: int, message: str) -> Finding:
+        return Finding(rule=self.rule_id, severity=self.severity,
+                       path=path, line=lineno, message=message)
+
+
 def _allowed_rules(line: str) -> set[str] | None:
     """The rule ids a source line's suppression comment allows, if any."""
     marker = line.find(SUPPRESS_MARKER)
@@ -109,14 +145,93 @@ def _allowed_rules(line: str) -> set[str] | None:
     return {rule.strip() for rule in spec.split(",") if rule.strip()}
 
 
+class SuppressionIndex:
+    """Which rules each line allows — statement-header aware.
+
+    ``allowed`` maps line numbers carrying a suppression comment to the
+    rule ids they permit.  ``owner`` maps every line inside a
+    *multi-line statement header* (decorators, a ``def``'s argument
+    list, a parenthesized ``with``) to ``(stmt_line, first_line)`` —
+    the ``def``/opening line and the first line including decorators —
+    so a suppression on the opening line covers findings anywhere in
+    the header.  Serializable, so the analysis cache can keep it
+    without re-parsing the file.
+    """
+
+    def __init__(self, allowed: dict[int, frozenset[str]],
+                 owner: dict[int, tuple[int, int]]) -> None:
+        self.allowed = allowed
+        self.owner = owner
+
+    @classmethod
+    def from_ast(cls, lines: Sequence[str],
+                 tree: ast.AST) -> "SuppressionIndex":
+        allowed: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            rules = _allowed_rules(line)
+            if rules is not None:
+                allowed[lineno] = frozenset(rules)
+        owner: dict[int, tuple[int, int]] = {}
+        # ast.walk is breadth-first: outer statements register their
+        # spans first and inner ones overwrite, so the innermost
+        # statement owns each header line.
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            first = _stmt_first_line(node)
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and \
+                    isinstance(body[0], ast.stmt):
+                header_end = _stmt_first_line(body[0]) - 1
+            else:
+                header_end = node.end_lineno or node.lineno
+            if header_end <= first:
+                continue  # single-line header: base lookup suffices
+            for lineno in range(first, header_end + 1):
+                owner[lineno] = (node.lineno, first)
+        return cls(allowed, owner)
+
+    def allows(self, rule: str, lineno: int) -> bool:
+        candidates = [lineno, lineno - 1]
+        span = self.owner.get(lineno)
+        if span is not None:
+            stmt_line, first = span
+            candidates += [stmt_line, first, first - 1]
+        for candidate in candidates:
+            allowed = self.allowed.get(candidate)
+            if allowed and (rule in allowed or "all" in allowed):
+                return True
+        return False
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "allowed": {str(line): sorted(rules)
+                        for line, rules in self.allowed.items()},
+            "owner": {str(line): list(span)
+                      for line, span in self.owner.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "SuppressionIndex":
+        return cls(
+            allowed={int(line): frozenset(rules)
+                     for line, rules in payload["allowed"].items()},
+            owner={int(line): (span[0], span[1])
+                   for line, span in payload["owner"].items()},
+        )
+
+
+def _stmt_first_line(node: ast.stmt) -> int:
+    """A statement's first physical line, decorators included."""
+    first = node.lineno
+    for decorator in getattr(node, "decorator_list", []):
+        first = min(first, decorator.lineno)
+    return first
+
+
 def is_suppressed(source: Source, finding: Finding) -> bool:
-    """True when the flagged line (or the line above) allows the rule."""
-    for lineno in (finding.line, finding.line - 1):
-        allowed = _allowed_rules(source.line_text(lineno))
-        if allowed is not None and \
-                (finding.rule in allowed or "all" in allowed):
-            return True
-    return False
+    """True when the statement header or adjacent line allows the rule."""
+    return source.suppressions.allows(finding.rule, finding.line)
 
 
 # -- running ---------------------------------------------------------------

@@ -313,8 +313,13 @@ class RaceCheckReport:
         return "\n".join(lines)
 
 
-def _find_cycles(edges: set[tuple[str, str]]) -> list[list[str]]:
-    """Distinct elementary cycles in the lock-order graph (DFS)."""
+def find_cycles(edges: set[tuple[str, str]]) -> list[list[str]]:
+    """Distinct elementary cycles in the lock-order graph (DFS).
+
+    Public because the static analyzer (REP209) runs the same cycle
+    detector over its compile-time lock-order edges — one algorithm,
+    two graphs, directly comparable output.
+    """
     graph: dict[str, list[str]] = {}
     for a, b in edges:
         graph.setdefault(a, []).append(b)
@@ -350,7 +355,7 @@ def report() -> RaceCheckReport:
         acquisitions = dict(_acquisitions)
     return RaceCheckReport(
         edges=edges,
-        cycles=_find_cycles(set(edges)),
+        cycles=find_cycles(set(edges)),
         violations=violations,
         acquisitions=acquisitions,
     )

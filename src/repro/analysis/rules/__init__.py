@@ -1,13 +1,14 @@
 """The repo's lint rule set.
 
-``default_rules()`` returns one instance of every rule, concurrency and
-generic alike; the CLI and the tests both go through it so the two can
-never disagree about what "the linter" means.
+``default_rules()`` returns one instance of every per-file rule, and
+``project_rules()`` one instance of every interprocedural rule;
+the CLI and the tests both go through them so the two can never
+disagree about what "the linter" means.
 """
 
 from __future__ import annotations
 
-from repro.analysis.lint import LintRule
+from repro.analysis.lint import LintRule, ProjectRule
 from repro.analysis.rules.concurrency import (
     AbandonedFutureGather,
     BlockingCallInAsync,
@@ -21,10 +22,17 @@ from repro.analysis.rules.generic import (
     MutableDefaultArg,
     SwallowedAggregationError,
 )
+from repro.analysis.rules.interprocedural import (
+    StaticLockOrderCycle,
+    TransitiveBlockingInAsync,
+    TransitiveFanoutUnderLock,
+)
 from repro.analysis.rules.perf import PerDocumentScoringLoop
+from repro.analysis.rules.resources import ResourceLeak
 
 __all__ = [
     "default_rules",
+    "project_rules",
     "UnguardedSharedState",
     "BlockingCallInAsync",
     "BlockingCallUnderLock",
@@ -35,11 +43,15 @@ __all__ = [
     "BareExcept",
     "PerDocumentScoringLoop",
     "SwallowedAggregationError",
+    "ResourceLeak",
+    "TransitiveBlockingInAsync",
+    "StaticLockOrderCycle",
+    "TransitiveFanoutUnderLock",
 ]
 
 
 def default_rules() -> list[LintRule]:
-    """One instance of every rule, in stable rule-id order."""
+    """One instance of every per-file rule, in stable rule-id order."""
     rules = [
         MutableDefaultArg(),
         BareExcept(),
@@ -51,5 +63,16 @@ def default_rules() -> list[LintRule]:
         AbandonedFutureGather(),
         BlockingCallInAsync(),
         PerDocumentScoringLoop(),
+        ResourceLeak(),
+    ]
+    return sorted(rules, key=lambda rule: rule.rule_id)
+
+
+def project_rules() -> list[ProjectRule]:
+    """One instance of every interprocedural rule, in rule-id order."""
+    rules: list[ProjectRule] = [
+        TransitiveBlockingInAsync(),
+        StaticLockOrderCycle(),
+        TransitiveFanoutUnderLock(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)

@@ -1,0 +1,151 @@
+"""Interprocedural rules: findings that need the whole call graph.
+
+These run once per analysis over the :class:`ProjectIndex` rather than
+per file — a blocking call three frames below an ``async def`` or a
+lock-order cycle split across modules is invisible to any single-file
+rule.  Everything here inherits the call graph's conservatism: an
+unresolvable callee contributes *nothing*, so every finding is backed
+by an explicit chain of project code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis import racecheck
+from repro.analysis.callgraph import ProjectIndex, format_chain
+from repro.analysis.lint import Finding, ProjectRule
+
+#: Call terminals that move work off the calling thread; a reference to
+#: a blocking function handed to these is the *point*, not a bug.
+_HANDOFF = frozenset({"run_in_executor", "submit", "map", "create_task",
+                      "ensure_future", "call_soon",
+                      "call_soon_threadsafe"})
+
+#: Fan-out entry points (same set the summaries record).
+_FANOUT = frozenset({"scatter", "scatter_first"})
+
+
+class TransitiveBlockingInAsync(ProjectRule):
+    """REP208: an ``async def`` reaches a blocking call through sync code.
+
+    The call-graph upgrade of REP206: REP206 flags ``time.sleep`` typed
+    directly inside an ``async def``; this rule follows sync callees any
+    number of frames down.  Awaited call sites are exempt (an awaited
+    coroutine yields to the loop), as are executor hand-offs
+    (``run_in_executor``, ``submit``, ...) whose entire purpose is to
+    run blocking code elsewhere.
+    """
+
+    rule_id = "REP208"
+    severity = "error"
+    description = ("blocking call transitively reachable from an "
+                   "async def")
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for key in index.async_functions():
+            fn = index.functions[key]
+            path = index.module_of(key).path
+            for call in fn.calls:
+                if call.awaited:
+                    continue
+                if call.callee.rsplit(".", 1)[-1] in _HANDOFF:
+                    continue
+                callee_key = index.resolve_call(key, call.callee)
+                if callee_key is None:
+                    continue
+                if index.functions[callee_key].is_async:
+                    continue
+                chain = index.blocking_chain(callee_key)
+                if chain is None:
+                    continue
+                reason, steps = chain
+                yield self.finding(
+                    path, call.lineno,
+                    f"async {fn.qualname}() reaches blocking "
+                    f"{reason} via {call.callee}(): "
+                    f"{format_chain(steps)}; await the work or hand "
+                    f"it to an executor",
+                )
+
+
+class StaticLockOrderCycle(ProjectRule):
+    """REP209: a lock-order cycle visible at compile time.
+
+    Builds the static held→acquired edge graph (lexical ``with``
+    nesting plus call sites made while holding a lock, expanded through
+    each callee's transitive acquisitions) and runs the *same* cycle
+    detector racecheck applies to its runtime graph — the two layers
+    speak one vocabulary (racecheck factory names) and are
+    cross-checked in the test suite.
+    """
+
+    rule_id = "REP209"
+    severity = "error"
+    description = "static lock-order cycle across functions"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        edges = index.lock_order_edges()
+        for cycle in racecheck.find_cycles(set(edges)):
+            pairs = [(cycle[i], cycle[(i + 1) % len(cycle)])
+                     for i in range(len(cycle))]
+            sites = [edges[pair] for pair in pairs if pair in edges]
+            if not sites:
+                continue
+            anchor = min((chain[0] for chain in sites),
+                         key=lambda step: (step.path, step.lineno))
+            order = " -> ".join([*cycle, cycle[0]])
+            detail = "; ".join(
+                f"({a} -> {b}) via {format_chain(edges[(a, b)])}"
+                for a, b in pairs if (a, b) in edges
+            )
+            yield self.finding(
+                anchor.path, anchor.lineno,
+                f"static lock-order cycle {order}: {detail}",
+            )
+
+
+class TransitiveFanoutUnderLock(ProjectRule):
+    """REP210: fan-out reachable while a lock is held.
+
+    ``scatter``/``scatter_first`` wait on a bounded executor; doing so
+    while holding a lock couples lock hold time to pool latency and can
+    deadlock outright when tasks need the same lock.  Racecheck's
+    ``note_fanout`` catches this at runtime on exercised paths; this is
+    the static complement, and it also follows call chains (the fan-out
+    may be several frames below the ``with``).
+    """
+
+    rule_id = "REP210"
+    severity = "error"
+    description = "fan-out while holding a lock (transitively)"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for key, fn in index.functions.items():
+            path = index.module_of(key).path
+            for site in fn.fanouts:
+                if site.locks_held:
+                    yield self.finding(
+                        path, site.lineno,
+                        f"{fn.qualname}() fans out via {site.kind}() "
+                        f"while holding "
+                        f"{', '.join(site.locks_held)}",
+                    )
+            for call in fn.calls:
+                if not call.locks_held:
+                    continue
+                if call.callee.rsplit(".", 1)[-1] in _FANOUT:
+                    continue  # direct site: reported above
+                callee_key = index.resolve_call(key, call.callee)
+                if callee_key is None:
+                    continue
+                chain = index.fanout_chain(callee_key)
+                if chain is None:
+                    continue
+                yield self.finding(
+                    path, call.lineno,
+                    f"{fn.qualname}() holds "
+                    f"{', '.join(call.locks_held)} across "
+                    f"{call.callee}(), which fans out: "
+                    f"{format_chain(chain)}",
+                )

@@ -1,0 +1,198 @@
+"""SARIF 2.1.0 output for the analyzer, plus a structural validator.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest: one ``run`` with a ``tool.driver`` describing the rules and
+a ``results`` array locating each finding.  The emitter here covers the
+subset those UIs actually read — rule metadata with default levels,
+result locations with region + snippet, and ``%SRCROOT%``-relative URIs
+so the same file works from any checkout directory.
+
+``validate_sarif`` is a dependency-free structural check of the SARIF
+2.1.0 schema constraints this emitter can violate (required properties,
+enum values, types).  CI runs it on every emitted file; it is not a
+general-purpose schema engine, but any document it accepts is also
+accepted by the official schema for the features used here.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.lint import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Finding severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _rule_descriptor(rule_id: str, severity: str,
+                     description: str) -> dict[str, Any]:
+    descriptor: dict[str, Any] = {
+        "id": rule_id,
+        "defaultConfiguration": {
+            "level": _LEVELS.get(severity, "warning"),
+        },
+    }
+    if description:
+        descriptor["shortDescription"] = {"text": description}
+    return descriptor
+
+
+def to_sarif(findings: Sequence[Finding],
+             rule_metadata: Iterable[tuple[str, str, str]] = (),
+             tool_version: str = "0") -> dict[str, Any]:
+    """A SARIF 2.1.0 document for ``findings``.
+
+    ``rule_metadata`` is ``(rule_id, severity, description)`` triples
+    for the full rule set, so the driver advertises every rule — not
+    just the ones that fired — and UIs can render the catalog.
+    """
+    rules: dict[str, dict[str, Any]] = {}
+    for rule_id, severity, description in rule_metadata:
+        rules[rule_id] = _rule_descriptor(rule_id, severity,
+                                          description)
+    for finding in findings:
+        rules.setdefault(finding.rule, _rule_descriptor(
+            finding.rule, finding.severity, ""))
+    rule_index = {rule_id: position
+                  for position, rule_id in enumerate(rules)}
+
+    results = []
+    for finding in findings:
+        region: dict[str, Any] = {"startLine": max(1, finding.line)}
+        if finding.snippet:
+            region["snippet"] = {"text": finding.snippet}
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": region,
+                },
+            }],
+        })
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analysis",
+                    "informationUri":
+                        "https://github.com/covidkg/repro",
+                    "version": tool_version,
+                    "rules": list(rules.values()),
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///%SRCROOT%/"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def dump_sarif(findings: Sequence[Finding],
+               rule_metadata: Iterable[tuple[str, str, str]] = (),
+               tool_version: str = "0") -> str:
+    return json.dumps(
+        to_sarif(findings, rule_metadata, tool_version), indent=2,
+    ) + "\n"
+
+
+# -- structural validation -------------------------------------------------
+
+_RESULT_LEVELS = frozenset({"none", "note", "warning", "error"})
+
+
+def validate_sarif(document: Any) -> list[str]:
+    """Violations of the SARIF 2.1.0 structure; empty means valid.
+
+    Checks the required-property/type/enum constraints from the
+    official schema for every construct :func:`to_sarif` emits.
+    """
+    problems: list[str] = []
+
+    def need(obj: Any, key: str, kind: type, where: str) -> Any:
+        if not isinstance(obj, dict):
+            problems.append(f"{where}: expected object")
+            return None
+        if key not in obj:
+            problems.append(f"{where}: missing required '{key}'")
+            return None
+        if not isinstance(obj[key], kind):
+            problems.append(
+                f"{where}.{key}: expected {kind.__name__}, got "
+                f"{type(obj[key]).__name__}")
+            return None
+        return obj[key]
+
+    version = need(document, "version", str, "sarifLog")
+    if version is not None and version != SARIF_VERSION:
+        problems.append(
+            f"sarifLog.version: must be '{SARIF_VERSION}', got "
+            f"'{version}'")
+    runs = need(document, "runs", list, "sarifLog")
+    if runs is None:
+        return problems
+    for run_no, run in enumerate(runs):
+        where = f"runs[{run_no}]"
+        tool = need(run, "tool", dict, where)
+        if tool is not None:
+            driver = need(tool, "driver", dict, f"{where}.tool")
+            if driver is not None:
+                need(driver, "name", str, f"{where}.tool.driver")
+                for rule_no, rule in enumerate(
+                        driver.get("rules", [])):
+                    need(rule, "id", str,
+                         f"{where}.tool.driver.rules[{rule_no}]")
+        results = run.get("results", []) if isinstance(run, dict) \
+            else []
+        if not isinstance(results, list):
+            problems.append(f"{where}.results: expected array")
+            continue
+        for result_no, result in enumerate(results):
+            rwhere = f"{where}.results[{result_no}]"
+            message = need(result, "message", dict, rwhere)
+            if message is not None:
+                need(message, "text", str, f"{rwhere}.message")
+            if isinstance(result, dict):
+                level = result.get("level")
+                if level is not None and level not in _RESULT_LEVELS:
+                    problems.append(
+                        f"{rwhere}.level: '{level}' not one of "
+                        f"{sorted(_RESULT_LEVELS)}")
+                for loc_no, location in enumerate(
+                        result.get("locations", [])):
+                    lwhere = f"{rwhere}.locations[{loc_no}]"
+                    physical = location.get("physicalLocation") \
+                        if isinstance(location, dict) else None
+                    if physical is None:
+                        continue
+                    artifact = physical.get("artifactLocation")
+                    if artifact is not None:
+                        need(artifact, "uri", str,
+                             f"{lwhere}.physicalLocation"
+                             f".artifactLocation")
+                    region = physical.get("region")
+                    if isinstance(region, dict):
+                        start = region.get("startLine")
+                        if start is not None and (
+                                not isinstance(start, int) or
+                                start < 1):
+                            problems.append(
+                                f"{lwhere}.physicalLocation.region"
+                                f".startLine: must be a positive "
+                                f"integer")
+    return problems

@@ -81,7 +81,11 @@ class GatewayClient:
     def _connect(self) -> socket.socket:
         sock = socket.create_connection((self.host, self.port),
                                         timeout=self.timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except BaseException:
+            sock.close()
+            raise
         self.connects += 1
         self._buffer = b""
         return sock

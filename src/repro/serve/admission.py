@@ -154,8 +154,19 @@ class WorkerPool:
                              name=f"{name}-worker-{i}", daemon=True)
             for i in range(num_workers)
         ]
-        for thread in self._threads:
-            thread.start()
+        started: list[threading.Thread] = []
+        try:
+            for thread in self._threads:
+                thread.start()
+                started.append(thread)
+        except BaseException:
+            # Thread exhaustion partway through: the threads already
+            # started are parked on the queue forever unless each gets
+            # a shutdown sentinel — don't strand them behind the raise.
+            self._closed = True
+            for _ in started:
+                self._queue.put(_SHUTDOWN)
+            raise
 
     # -- submission -------------------------------------------------------
 

@@ -174,11 +174,9 @@ class QueryService:
             negative_ttl_seconds=self.config.negative_ttl_seconds,
         )
         self.metrics = ServiceMetrics(self.config.histogram_capacity)
-        add_fanout_observer(self.metrics.record_fanout)
         self.loadctl: LoadController | None = None
         if self.config.load_control is not None:
             self.loadctl = LoadController(self.config.load_control)
-            add_fanout_observer(self.loadctl.observe_fanout)
         self._pool = WorkerPool(
             num_workers=self.config.num_workers,
             max_queue=self.config.max_queue,
@@ -197,6 +195,17 @@ class QueryService:
             "kg_query": self._run_kg_query,
             "meta_profile": self._run_meta_profile,
         }
+        # Observer registration is a *global* side effect on the docstore
+        # executor hook — it must come last, after everything above that
+        # can raise (WorkerPool rejects bad sizing), or a failed
+        # construction strands callbacks into a half-built service.
+        add_fanout_observer(self.metrics.record_fanout)
+        if self.loadctl is not None:
+            try:
+                add_fanout_observer(self.loadctl.observe_fanout)
+            except BaseException:
+                remove_fanout_observer(self.metrics.record_fanout)
+                raise
 
     # -- public API -------------------------------------------------------
 

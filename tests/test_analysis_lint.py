@@ -112,6 +112,15 @@ async def handler(request):
     time.sleep(0.1)
     return request
 """,
+    "REP211": """
+import socket
+
+
+def connect(addr):
+    sock = socket.create_connection(addr)
+    sock.setsockopt(6, 1, 1)
+    return sock
+""",
 }
 
 CLEAN_FIXTURE = """
@@ -292,6 +301,66 @@ def test_suppressing_a_different_rule_does_not_hide_the_finding():
         "def fetch(cache={}):", "def fetch(cache={}):  # lint: allow=REP102"
     )
     assert [f.rule for f in _lint_text(text)] == ["REP101"]
+
+
+def test_suppression_on_opening_line_covers_multi_line_header():
+    # REP101 anchors at the default *expression*, two lines below the
+    # `def`; the comment on the opening line must still cover it.
+    text = """
+def fetch(  # lint: allow=REP101
+    size,
+    cache={},
+):
+    return cache
+"""
+    assert _lint_text(text) == []
+    assert [f.rule for f in _lint_text(text.replace(
+        "  # lint: allow=REP101", ""))] == ["REP101"]
+
+
+def test_suppression_above_decorator_covers_decorated_def():
+    text = """
+import functools
+
+
+# lint: allow=REP101
+@functools.lru_cache(maxsize=None)
+def fetch(cache={}):
+    return cache
+"""
+    assert _lint_text(text) == []
+
+
+def test_suppression_on_def_line_of_decorated_def():
+    text = """
+import functools
+
+
+@functools.lru_cache(
+    maxsize=None,
+)
+def fetch(  # lint: allow=REP101
+    cache={},
+):
+    return cache
+"""
+    assert _lint_text(text) == []
+
+
+def test_header_suppression_does_not_leak_into_the_body():
+    # The opening-line comment covers the statement *header* only;
+    # findings in the body still fire.
+    text = """
+def swallow(  # lint: allow=REP102
+    fn,
+    cache={},  # lint: allow=REP101
+):
+    try:
+        return fn()
+    except:
+        return None
+"""
+    assert [f.rule for f in _lint_text(text)] == ["REP102"]
 
 
 # -- file discovery and syntax errors --------------------------------------

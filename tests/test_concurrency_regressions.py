@@ -362,3 +362,88 @@ def test_cache_stats_snapshot_races_with_lookups():
         assert not thread.is_alive()
     final = cache.stats_snapshot()
     assert final["hits"] + final["misses"] == 900
+
+
+# -- PR 8: leaks the interprocedural rules (REP208-REP211) surfaced --------
+
+def test_client_connect_closes_socket_when_setsockopt_fails(monkeypatch):
+    """REP211 regression: a socket must not leak when tuning it fails.
+
+    ``GatewayClient._connect`` used to create the connection and then
+    set TCP_NODELAY with no guard — a raise between the two stranded
+    the connected socket.  The fix closes it on any failure after
+    creation.
+    """
+    import socket as socket_module
+
+    from repro.gateway.client import GatewayClient
+
+    class FakeSock:
+        def __init__(self) -> None:
+            self.closed = False
+
+        def setsockopt(self, *args):
+            raise OSError("setsockopt denied")
+
+        def close(self) -> None:
+            self.closed = True
+
+    fake = FakeSock()
+    monkeypatch.setattr(socket_module, "create_connection",
+                        lambda *a, **kw: fake)
+    client = GatewayClient("127.0.0.1", 1)
+    with pytest.raises(OSError, match="setsockopt denied"):
+        client._connect()
+    assert fake.closed
+    assert client.connects == 0
+
+
+def test_query_service_failed_init_registers_no_fanout_observers():
+    """A QueryService whose construction fails must leave the global
+    fan-out observer hook exactly as it found it.
+
+    Observers used to be registered before the worker pool was built;
+    a pool sizing error then stranded callbacks into a half-built
+    service on the module-level hook forever.
+    """
+    from repro.serve.service import QueryService, ServeConfig
+
+    before = list(executor_module._observers)
+    with pytest.raises(ValueError):
+        QueryService(object(), ServeConfig(num_workers=0))
+    assert executor_module._observers == before
+    with pytest.raises(ValueError):
+        QueryService(object(), ServeConfig(max_queue=0))
+    assert executor_module._observers == before
+
+
+def test_worker_pool_thread_start_failure_reaps_started_workers(
+        monkeypatch):
+    """Partial thread start-up must not strand the started workers.
+
+    If the Nth worker thread fails to start, the N-1 already running
+    are parked on the queue; without sentinels they would idle forever
+    (a daemon-thread leak per failed pool).
+    """
+    real_start = threading.Thread.start
+    starts = {"count": 0}
+
+    def flaky_start(self):
+        if self.name.startswith("doomed-pool-worker"):
+            starts["count"] += 1
+            if starts["count"] == 3:
+                raise RuntimeError("can't start new thread")
+        real_start(self)
+
+    monkeypatch.setattr(threading.Thread, "start", flaky_start)
+    with pytest.raises(RuntimeError, match="can't start new thread"):
+        WorkerPool(num_workers=4, name="doomed-pool")
+    monkeypatch.undo()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        alive = [t for t in threading.enumerate()
+                 if t.name.startswith("doomed-pool-worker")]
+        if not alive:
+            break
+        time.sleep(0.01)
+    assert not alive, f"stranded worker threads: {alive}"
