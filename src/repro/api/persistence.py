@@ -89,9 +89,14 @@ def load_system(directory: str | Path) -> CovidKG:
 
         system.graph = KnowledgeGraph.load(kg_path)
         # Re-point every graph consumer at the restored instance.
+        # Missing any one of these leaves that surface answering from
+        # the empty seeded graph forever: KGQL did exactly that until
+        # the differential reload tests caught it.
         system.matcher.graph = system.graph
+        system.matcher.invalidate_cache()
         system.fusion.graph = system.graph
         system.kg_search.graph = system.graph
+        system.kgql.graph = system.graph
 
     w2v_path = directory / "word2vec.npz"
     if w2v_path.exists():

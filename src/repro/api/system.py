@@ -104,30 +104,10 @@ class CovidKG:
         # $function registry (seeded from the global defaults) so ranking
         # functions registered here never leak into another system.
         self.functions = FunctionRegistry.with_defaults()
-        ranker_kwargs = {
-            "ranker": self.config.ranker,
-            "bm25_k1": self.config.bm25_k1,
-            "bm25_b": self.config.bm25_b,
-        }
-        self.all_fields = AllFieldsEngine(
-            registry=self.functions,
-            num_shards=self.config.search_shards,
-            **ranker_kwargs,
-        )
-        self.title_abstract = TitleAbstractCaptionEngine(
-            registry=self.functions,
-            num_shards=self.config.search_shards,
-            **ranker_kwargs,
-        )
-        self.tables = TableSearchEngine(
-            registry=self.functions,
-            num_shards=self.config.search_shards,
-            **ranker_kwargs,
-        )
-        for engine in (self.all_fields, self.title_abstract, self.tables):
-            engine.use_columnar = self.config.columnar
-            if self.config.validate_pipelines:
-                engine.validate_pipelines = True
+        engines = self._build_search_engines()
+        self.all_fields = engines["all_fields"]
+        self.title_abstract = engines["title_abstract"]
+        self.tables = engines["table"]
         # Section 4: matching/fusion/review/enrichment.
         self.review_queue = ExpertReviewQueue()
         self.matcher = NodeMatcher(self.graph)
@@ -145,6 +125,42 @@ class CovidKG:
             SvmMetadataClassifier | NeuralMetadataClassifier | None
         ) = None
         self._ingested_papers: list[dict[str, Any]] = []
+
+    def _build_search_engines(self) -> dict[str, Any]:
+        """Fresh Section 2.1 engines configured exactly per the config.
+
+        Used at construction *and* by snapshot rollback
+        (:mod:`repro.ingest.snapshots`), so a rolled-back system keeps
+        its ranker (BM25 ``k1``/``b``, field-length stats rebuilt from
+        the retained documents), columnar setting, and validation mode.
+        """
+        ranker_kwargs = {
+            "ranker": self.config.ranker,
+            "bm25_k1": self.config.bm25_k1,
+            "bm25_b": self.config.bm25_b,
+        }
+        engines: dict[str, Any] = {
+            "all_fields": AllFieldsEngine(
+                registry=self.functions,
+                num_shards=self.config.search_shards,
+                **ranker_kwargs,
+            ),
+            "title_abstract": TitleAbstractCaptionEngine(
+                registry=self.functions,
+                num_shards=self.config.search_shards,
+                **ranker_kwargs,
+            ),
+            "table": TableSearchEngine(
+                registry=self.functions,
+                num_shards=self.config.search_shards,
+                **ranker_kwargs,
+            ),
+        }
+        for engine in engines.values():
+            engine.use_columnar = self.config.columnar
+            if self.config.validate_pipelines:
+                engine.validate_pipelines = True
+        return engines
 
     # -- training (№4) ---------------------------------------------------------
 

@@ -14,6 +14,8 @@ Subcommands:
                     (or fetch ``/v1/stats`` from a live gateway with
                     ``--url``)
 * ``gateway``     — serve the system over HTTP (asyncio front end)
+* ``ingest``      — stream a JSONL batch into a live gateway (``--url``)
+                    or commit it through a local WAL (``--system``)
 * ``analyze``     — run the repo's static analysis (concurrency lints)
 
 Example session::
@@ -233,8 +235,107 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         load_control=LoadControlConfig() if args.adaptive else None,
         gateway=gateway_config,
     )
-    with QueryService(system, config) as service:
-        return run_gateway(service, gateway_config)
+    # /v1/ingest is always live: a persistent --ingest-dir carries the
+    # WAL and snapshots across restarts (committed batches are replayed
+    # on boot); without one, a temporary directory scopes them to this
+    # process.
+    import tempfile
+
+    from repro.ingest.engine import IngestEngine
+
+    scratch = None
+    if args.ingest_dir:
+        ingest_dir = args.ingest_dir
+    else:
+        scratch = tempfile.TemporaryDirectory(prefix="covidkg-ingest-")
+        ingest_dir = scratch.name
+    engine = IngestEngine(system, ingest_dir)
+    try:
+        replayed = engine.replay()
+        if replayed:
+            print(f"replayed {replayed} committed ingest batch(es) "
+                  f"from {ingest_dir}", flush=True)
+        with QueryService(system, config) as service:
+            service.attach_ingest(engine)
+            return run_gateway(service, gateway_config)
+    finally:
+        engine.close()
+        if scratch is not None:
+            scratch.cleanup()
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Commit batches of papers: over HTTP (--url) or locally (--system)."""
+    from repro.errors import ReproError
+
+    papers = load_papers_jsonl(args.corpus)
+    size = args.batch_size if args.batch_size > 0 else len(papers)
+    batches = [papers[start:start + size]
+               for start in range(0, len(papers), size)]
+    receipts: list[dict] = []
+
+    def _print_receipt(receipt: dict) -> None:
+        print(f"committed batch {receipt['batch_id']} "
+              f"(seq {receipt['seq']}, snapshot {receipt['snapshot']}): "
+              f"{receipt['accepted']} papers, {receipt['subtrees']} "
+              f"fused subtrees in {receipt['seconds'] * 1000:.1f} ms")
+
+    try:
+        if args.url:
+            from repro.gateway.client import GatewayClient
+
+            with GatewayClient.from_url(args.url) as client:
+                for batch in batches:
+                    response = client.ingest(
+                        batch, skip_duplicates=args.skip_duplicates)
+                    payload = response.json()
+                    if response.status != 200:
+                        error = payload.get("error", {})
+                        print(f"ingest failed ({response.status} "
+                              f"{error.get('code', '?')}): "
+                              f"{error.get('message', '')}")
+                        if receipts:
+                            # Earlier batches committed durably; the
+                            # WAL keeps them across this failure.
+                            print(f"{len(receipts)} earlier batch(es) "
+                                  "remain committed")
+                        return 1
+                    receipts.append(payload["value"])
+                    _print_receipt(receipts[-1])
+        elif args.system:
+            from pathlib import Path
+
+            from repro.ingest.engine import IngestEngine
+
+            system = load_system(args.system)
+            wal_dir = args.ingest_dir or str(Path(args.system) / "ingest")
+            with IngestEngine(system, wal_dir) as engine:
+                replayed = engine.replay()
+                if replayed:
+                    print(f"replayed {replayed} committed batch(es) "
+                          f"from {wal_dir}")
+                for batch in batches:
+                    receipts.append(engine.commit_batch(
+                        batch,
+                        skip_duplicates=args.skip_duplicates).to_json())
+                    _print_receipt(receipts[-1])
+                if args.checkpoint:
+                    engine.checkpoint(args.system)
+                    print(f"checkpointed system to {args.system} "
+                          f"(WAL truncated)")
+        else:
+            print("ingest needs --system PATH or --url http://host:port")
+            return 2
+    except ReproError as exc:
+        print(f"ingest failed: {exc}")
+        if receipts:
+            print(f"{len(receipts)} earlier batch(es) remain committed")
+        return 1
+    accepted = sum(receipt["accepted"] for receipt in receipts)
+    if len(receipts) != 1:
+        print(f"committed {len(receipts)} batch(es): "
+              f"{accepted} papers total")
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -429,7 +530,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable the adaptive load controller")
     gateway.add_argument("--max-cost", type=float, default=None,
                          help="reject requests priced over this budget")
+    gateway.add_argument("--ingest-dir", default=None,
+                         help="directory for the ingest WAL + snapshots "
+                              "(committed batches replay on restart; "
+                              "default: a per-process temp dir)")
     gateway.set_defaults(func=_cmd_gateway)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="commit a JSONL batch of papers: POST to a live gateway "
+             "(--url) or apply locally through a WAL (--system)",
+    )
+    ingest.add_argument("--corpus", required=True,
+                        help="JSONL file of papers to commit")
+    ingest.add_argument("--batch-size", type=int, default=10,
+                        help="papers per committed batch; the default "
+                             "keeps each POST under the gateway's "
+                             "64 KiB body cap (0 = one batch)")
+    ingest.add_argument("--url", default=None,
+                        help="POST the batch to a running gateway "
+                             "(http://host:port)")
+    ingest.add_argument("--system", default=None,
+                        help="saved system directory to apply the batch "
+                             "to locally")
+    ingest.add_argument("--ingest-dir", default=None,
+                        help="WAL directory for local mode "
+                             "(default: <system>/ingest)")
+    ingest.add_argument("--skip-duplicates", action="store_true",
+                        help="silently drop already-ingested paper_ids "
+                             "instead of rejecting the batch")
+    ingest.add_argument("--checkpoint", action="store_true",
+                        help="after committing, save the system back "
+                             "and truncate the WAL")
+    ingest.set_defaults(func=_cmd_ingest)
 
     analyze = sub.add_parser(
         "analyze",

@@ -39,8 +39,20 @@ def _decode(line: str) -> dict[str, Any]:
     return document
 
 
+def _meta_path(path: Path) -> Path:
+    return path.with_suffix(path.suffix + ".meta.json")
+
+
 def save_collection(collection: Collection, path: str | Path) -> int:
-    """Snapshot every document to a JSONL file; returns bytes written."""
+    """Snapshot every document to a JSONL file; returns bytes written.
+
+    A ``<path>.meta.json`` sidecar records the collection's mutation
+    counter so :func:`load_collection` can resume *past* it — replaying
+    the inserts alone resets the counter, and a restored collection
+    whose version restarted from zero could alias cached results
+    computed against the pre-save process (the serving tier keys its
+    cache on these counters).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp_path = path.with_suffix(path.suffix + ".tmp")
@@ -51,12 +63,23 @@ def save_collection(collection: Collection, path: str | Path) -> int:
             handle.write(line + "\n")
             written += len(line) + 1
     os.replace(tmp_path, path)
+    meta_tmp = _meta_path(path).with_suffix(".tmp")
+    with open(meta_tmp, "w", encoding="utf-8") as handle:
+        json.dump({"version": collection.version,
+                   "documents": len(collection)}, handle)
+    os.replace(meta_tmp, _meta_path(path))
     return written
 
 
 def load_collection(path: str | Path,
                     name: str | None = None) -> Collection:
-    """Rebuild a collection from a JSONL snapshot."""
+    """Rebuild a collection from a JSONL snapshot.
+
+    When the version sidecar written by :func:`save_collection` is
+    present, the restored collection's mutation counter advances to one
+    past the saved value (snapshots from older code without a sidecar
+    load as before).
+    """
     path = Path(path)
     if not path.exists():
         raise PersistenceError(f"snapshot not found: {path}")
@@ -72,6 +95,16 @@ def load_collection(path: str | Path,
                 raise PersistenceError(
                     f"corrupt snapshot {path}:{line_number}: {exc}"
                 ) from exc
+    meta_path = _meta_path(path)
+    if meta_path.exists():
+        try:
+            with open(meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(
+                f"corrupt snapshot sidecar {meta_path}: {exc}"
+            ) from exc
+        collection.advance_version(int(meta.get("version", 0)) + 1)
     return collection
 
 

@@ -125,6 +125,43 @@ class KGQLSyntaxError(KGQLError):
         super().__init__(rendered)
 
 
+class IngestError(ReproError):
+    """The streaming-ingest subsystem failed a batch operation."""
+
+
+class IngestRejectedError(IngestError):
+    """A batch failed the pre-index quality gate; nothing was applied.
+
+    Carries per-document diagnostics so a feed operator can see exactly
+    which papers were malformed and why::
+
+        IngestRejectedError("2 of 5 papers rejected", rejects=[...])
+
+    ``rejects`` is a list of ``{"index", "paper_id", "error"}`` dicts.
+    The gate is all-or-nothing: one bad paper rejects the whole batch,
+    so a partial batch can never reach the WAL or the indexes.
+    """
+
+    def __init__(self, message: str,
+                 rejects: list[dict] | None = None) -> None:
+        super().__init__(message)
+        self.rejects = rejects or []
+
+
+class WalCorruptionError(IngestError):
+    """A write-ahead-log segment failed its checksum or framing checks.
+
+    Replay treats a corrupt/truncated *tail* as the crash point and
+    recovers everything committed before it; corruption *before* the
+    last committed batch raises this instead of silently dropping
+    acknowledged data.
+    """
+
+
+class SnapshotNotFoundError(IngestError):
+    """``rollback(to)`` named a snapshot that is not retained."""
+
+
 class GatewayError(ReproError):
     """The HTTP gateway failed a request before it reached the service."""
 

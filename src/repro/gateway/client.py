@@ -239,3 +239,15 @@ class GatewayClient:
         if nl:
             merged["nl"] = "1"
         return self.get("/v1/kg/query", params=merged)
+
+    def ingest(self, papers: list[dict[str, Any]],
+               skip_duplicates: bool = False,
+               **params: Any) -> ClientResponse:
+        """POST a batch of papers to ``/v1/ingest``."""
+        body = json.dumps({
+            "papers": papers,
+            "skip_duplicates": skip_duplicates,
+        }).encode("utf-8")
+        return self.request(
+            "POST", "/v1/ingest", params=params, body=body,
+            headers={"Content-Type": "application/json"})

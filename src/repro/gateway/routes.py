@@ -18,6 +18,7 @@ shape::
 from __future__ import annotations
 
 import inspect
+import json
 from dataclasses import dataclass
 from typing import Any
 
@@ -56,6 +57,10 @@ ERROR_STATUS: dict[type[BaseException], tuple[int, str]] = {
     errors_module.DeadlineExceededError: (504, "deadline_exceeded"),
     errors_module.ServiceClosedError: (503, "service_closed"),
     errors_module.RequestTooExpensiveError: (429, "request_too_expensive"),
+    errors_module.IngestError: (500, "ingest_failed"),
+    errors_module.IngestRejectedError: (422, "ingest_rejected"),
+    errors_module.WalCorruptionError: (500, "wal_corrupt"),
+    errors_module.SnapshotNotFoundError: (404, "snapshot_not_found"),
     errors_module.KGQLError: (400, "bad_kgql"),
     errors_module.KGQLSyntaxError: (400, "kgql_syntax"),
     errors_module.GatewayError: (500, "gateway_failed"),
@@ -187,6 +192,37 @@ def _kg_query_params(request: Request) -> dict[str, Any]:
     }
 
 
+def ingest_body(request: Request) -> dict[str, Any]:
+    """``POST /v1/ingest``: validate the JSON body into submit kwargs.
+
+    Accepts either ``{"papers": [...], "skip_duplicates": bool}`` or a
+    bare JSON array of papers.  Shape errors here are 400s; *content*
+    errors (a paper failing the quality gate) surface later as 422
+    ``ingest_rejected`` from the ingest engine itself.
+    """
+    if not request.body:
+        raise BadRequestError("ingest needs a JSON request body")
+    try:
+        payload = json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequestError(
+            f"ingest body is not valid JSON: {exc}") from None
+    if isinstance(payload, list):
+        payload = {"papers": payload}
+    if not isinstance(payload, dict):
+        raise BadRequestError(
+            "ingest body must be a JSON object or array")
+    papers = payload.get("papers")
+    if not isinstance(papers, list) or not papers:
+        raise BadRequestError(
+            'ingest body needs a non-empty "papers" array')
+    skip = payload.get("skip_duplicates", False)
+    if not isinstance(skip, bool):
+        raise BadRequestError(
+            '"skip_duplicates" must be a JSON boolean')
+    return {"papers": papers, "skip_duplicates": skip}
+
+
 @dataclass(frozen=True)
 class Endpoint:
     """One routable path: its metrics label and serving engine."""
@@ -205,6 +241,7 @@ ROUTES: dict[str, Endpoint] = {
     "/v1/search/table": Endpoint("search.table", "table", _search_params),
     "/v1/kg/search": Endpoint("kg.search", "kg", _kg_params),
     "/v1/kg/query": Endpoint("kg.query", "kg_query", _kg_query_params),
+    "/v1/ingest": Endpoint("ingest", "ingest", ingest_body),
     "/v1/healthz": Endpoint("healthz", None),
     "/v1/stats": Endpoint("stats", None),
     "/v1/metrics": Endpoint("metrics", None),

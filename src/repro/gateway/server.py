@@ -385,11 +385,28 @@ class Gateway:
                 )
             if endpoint.engine is None:
                 return self._local_endpoint(endpoint, request_id)
-            params = endpoint.params(request)
-            timeout = timeout_seconds(
-                request, self.config.default_timeout_ms)
-            future = self.service.submit(
-                endpoint.engine, timeout_seconds=timeout, **params)
+            if endpoint.engine == "ingest":
+                # Writes ride a dedicated single-worker pool
+                # (QueryService.submit_ingest) so a batch commit can
+                # never occupy a read slot; reads keep flowing while
+                # the WAL fsyncs.
+                if request.method != "POST":
+                    response = error_payload(
+                        405, "method_not_allowed",
+                        "ingest requires POST", request_id)
+                    response.headers["Allow"] = "POST"
+                    return response
+                params = endpoint.params(request)
+                timeout = timeout_seconds(
+                    request, self.config.default_timeout_ms)
+                future = self.service.submit_ingest(
+                    timeout_seconds=timeout, **params)
+            else:
+                params = endpoint.params(request)
+                timeout = timeout_seconds(
+                    request, self.config.default_timeout_ms)
+                future = self.service.submit(
+                    endpoint.engine, timeout_seconds=timeout, **params)
             served = await asyncio.wrap_future(future)
             return Response(payload=serialize_served(served, request_id))
         except asyncio.CancelledError:

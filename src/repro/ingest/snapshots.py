@@ -1,0 +1,171 @@
+"""Named snapshots and atomic rollback for streaming ingest.
+
+A snapshot is *logical*, not a byte copy: the ingested-paper count, the
+knowledge graph serialized to JSON, and the live version counters.
+That is sufficient because re-indexing is deterministic — replaying the
+retained enriched documents through fresh engines reproduces the saved
+state bit-for-bit (the differential tests assert byte-identical query
+pages), while costing O(corpus) memory only for the graph JSON.
+
+``rollback`` swaps the rebuilt store/engines/graph into the live
+:class:`~repro.api.system.CovidKG` **after** the rebuild finishes, and
+then advances every version counter past its pre-rollback value.  Two
+consequences:
+
+* callers holding the serving tier's write lock see an atomic flip —
+  no query can observe a half-rebuilt system;
+* every cached result (positive or negative) keyed on the old
+  snapshots invalidates immediately, because no counter ever repeats.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SnapshotNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.system import CovidKG
+
+
+@dataclass
+class Snapshot:
+    """One committed-batch restore point."""
+
+    name: str
+    #: Committed-batch sequence number (``0`` is the pre-ingest base).
+    seq: int
+    #: ``len(system._ingested_papers)`` at snapshot time.
+    num_papers: int
+    #: ``graph.to_json()`` serialized (a string: immutable by design).
+    graph_json: str
+    #: Counters at snapshot time, for diagnostics/stats.
+    versions: dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"name": self.name, "seq": self.seq,
+                "num_papers": self.num_papers,
+                "versions": dict(self.versions)}
+
+
+def system_versions(system: "CovidKG") -> dict[str, int]:
+    """Every invalidation counter a query result can depend on."""
+    return {
+        "store": system.store.version,
+        "kg": system.graph.version,
+        "all_fields": system.all_fields.collection.version,
+        "title_abstract": system.title_abstract.collection.version,
+        "table": system.tables.collection.version,
+    }
+
+
+def take_snapshot(system: "CovidKG", name: str, seq: int) -> Snapshot:
+    return Snapshot(
+        name=name,
+        seq=seq,
+        num_papers=len(system._ingested_papers),
+        graph_json=json.dumps(system.graph.to_json(),
+                              separators=(",", ":")),
+        versions=system_versions(system),
+    )
+
+
+def restore_snapshot(system: "CovidKG", snapshot: Snapshot) -> None:
+    """Rewind ``system`` to ``snapshot`` in place.
+
+    The caller is responsible for exclusion (the serving tier holds its
+    write lock).  The rebuild is deterministic: the retained *enriched*
+    documents replay through fresh engines exactly as the original
+    ingest indexed them (classification already happened before they
+    were stored), and the graph restores from its serialized snapshot.
+    Ranker configuration comes from ``system.config`` — a BM25 system
+    rolls back to a BM25 system, field-length stats included.
+    """
+    from repro.docstore.sharding import ShardedCollection
+    from repro.kg.graph import KnowledgeGraph
+
+    old = system_versions(system)
+    retained = list(system._ingested_papers[:snapshot.num_papers])
+
+    store = ShardedCollection(
+        "publications", shard_key=system.config.shard_key,
+        num_shards=system.config.num_shards,
+    )
+    store.create_index("paper_id", unique=True)
+    engines = system._build_search_engines()
+    for document in retained:
+        store.insert_one(document)
+        for engine in engines.values():
+            engine.add_paper(document)
+    graph = KnowledgeGraph.from_json(json.loads(snapshot.graph_json))
+
+    # Atomic flip: every reference swap below is a plain attribute
+    # assignment; a reader admitted after this block sees only the
+    # rebuilt state (readers are excluded anyway by the write lock).
+    system.store = store
+    system.all_fields = engines["all_fields"]
+    system.title_abstract = engines["title_abstract"]
+    system.tables = engines["table"]
+    system.graph = graph
+    system.matcher.graph = graph
+    system.matcher.invalidate_cache()
+    system.fusion.graph = graph
+    system.kg_search.graph = graph
+    system.kgql.graph = graph
+    system._ingested_papers = retained
+
+    # No counter may ever repeat a pre-rollback value, or a cached page
+    # computed against the discarded state could read as fresh.
+    system.store.advance_version(old["store"] + 1)
+    system.graph.advance_version(old["kg"] + 1)
+    system.all_fields.collection.advance_version(old["all_fields"] + 1)
+    system.title_abstract.collection.advance_version(
+        old["title_abstract"] + 1)
+    system.tables.collection.advance_version(old["table"] + 1)
+
+
+class SnapshotStore:
+    """Bounded, ordered retention of named snapshots."""
+
+    def __init__(self, retention: int = 8) -> None:
+        if retention < 1:
+            raise ValueError("retention must be >= 1")
+        self.retention = retention
+        self._snapshots: "OrderedDict[str, Snapshot]" = OrderedDict()
+
+    def add(self, snapshot: Snapshot) -> None:
+        self._snapshots[snapshot.name] = snapshot
+        self._snapshots.move_to_end(snapshot.name)
+        while len(self._snapshots) > self.retention:
+            self._snapshots.popitem(last=False)
+
+    def get(self, name: str) -> Snapshot:
+        snapshot = self._snapshots.get(name)
+        if snapshot is None:
+            retained = ", ".join(self._snapshots) or "<none>"
+            raise SnapshotNotFoundError(
+                f"no snapshot named {name!r} (retained: {retained})")
+        return snapshot
+
+    def drop_after(self, seq: int) -> None:
+        """Forget snapshots newer than ``seq`` (they describe undone state)."""
+        for name in [name for name, snap in self._snapshots.items()
+                     if snap.seq > seq]:
+            del self._snapshots[name]
+
+    def names(self) -> list[str]:
+        return list(self._snapshots)
+
+    def latest(self) -> Snapshot | None:
+        if not self._snapshots:
+            return None
+        return next(reversed(self._snapshots.values()))
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._snapshots

@@ -1,0 +1,293 @@
+"""Write-ahead segment log for streaming ingest.
+
+Durability contract: a batch is **committed** once its ``commit`` record
+has been flushed and fsynced; a crash at any earlier point replays to
+the previous committed batch and never exposes a partial one.  The log
+is a sequence of append-only segment files::
+
+    <directory>/
+        wal-00000001.seg
+        wal-00000002.seg
+        ...
+
+Each segment holds framed records.  A frame is::
+
+    <length:u32 LE> <crc32:u32 LE> <payload: length bytes of UTF-8 JSON>
+
+The CRC covers the payload only; a frame whose length runs past the end
+of the file, or whose checksum mismatches, marks the crash point — replay
+stops there.  Record kinds:
+
+* ``{"kind": "begin",    "batch": id}``
+* ``{"kind": "doc",      "batch": id, "paper": {...}}``
+* ``{"kind": "commit",   "batch": id, "count": n, "skip_duplicates": b}``
+* ``{"kind": "rollback", "to_seq": k}`` — a live ``rollback()`` is
+  itself logged, so replay after a later crash lands on the rolled-back
+  state, not the pre-rollback one.
+
+Only ``commit`` and ``rollback`` fsync; ``begin``/``doc`` records ride
+the OS buffer, which is exactly the whole-batch-or-nothing semantics the
+frame scan enforces.  Segments rotate at ``max_segment_bytes`` — a batch
+may span segments; replay is one linear scan across all of them in name
+order.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import WalCorruptionError
+
+_FRAME_HEADER = struct.Struct("<II")
+
+#: Default rotation threshold (small enough that the crash tests and the
+#: E22 bench naturally exercise multi-segment batches).
+DEFAULT_SEGMENT_BYTES = 256 * 1024
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME_HEADER.pack(len(payload),
+                              zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def encode_record(record: dict[str, Any]) -> bytes:
+    """One framed record, ready to append to a segment."""
+    return _frame(json.dumps(record, separators=(",", ":"),
+                             sort_keys=True).encode("utf-8"))
+
+
+def scan_segment(data: bytes) -> tuple[list[dict[str, Any]], int]:
+    """Decode frames until the data runs out or a frame is torn.
+
+    Returns ``(records, consumed_bytes)``.  A torn tail (truncated
+    header, truncated payload, CRC mismatch, or undecodable JSON) ends
+    the scan at the last whole frame — that offset is the crash point.
+    """
+    records: list[dict[str, Any]] = []
+    offset = 0
+    size = len(data)
+    while offset + _FRAME_HEADER.size <= size:
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > size:
+            return records, offset  # torn payload: crash mid-write
+        payload = data[start:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return records, offset  # bit rot / torn write
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, offset
+        if not isinstance(record, dict):
+            return records, offset
+        records.append(record)
+        offset = end
+    return records, offset
+
+
+def iter_frames(data: bytes) -> Iterator[dict[str, Any]]:
+    """Frame records of one segment, stopping at the first torn frame."""
+    return iter(scan_segment(data)[0])
+
+
+@dataclass
+class ReplayBatch:
+    """One fully committed batch recovered from the log."""
+
+    batch_id: str
+    papers: list[dict[str, Any]] = field(default_factory=list)
+    skip_duplicates: bool = False
+
+
+@dataclass
+class ReplayState:
+    """The outcome of scanning the whole log."""
+
+    #: Committed batches in commit order, rollbacks already applied.
+    batches: list[ReplayBatch] = field(default_factory=list)
+    #: Batches begun but never committed (discarded by the scan).
+    torn_batches: int = 0
+    #: Segments scanned.
+    segments: int = 0
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, fsync-on-commit segment log."""
+
+    def __init__(self, directory: str | Path,
+                 max_segment_bytes: int = DEFAULT_SEGMENT_BYTES) -> None:
+        if max_segment_bytes < 1:
+            raise ValueError("max_segment_bytes must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_segment_bytes = max_segment_bytes
+        self._handle: io.BufferedWriter | None = None
+        self._segment_index = 0
+        self._segment_bytes = 0
+        existing = self.segment_paths()
+        if existing:
+            last = existing[-1]
+            self._segment_index = int(
+                last.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+            self._segment_bytes = last.stat().st_size
+
+    # -- segments ---------------------------------------------------------
+
+    def segment_paths(self) -> list[Path]:
+        """Every segment file, in append order."""
+        return sorted(
+            path for path in self.directory.iterdir()
+            if path.name.startswith(_SEGMENT_PREFIX)
+            and path.name.endswith(_SEGMENT_SUFFIX)
+        )
+
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / (
+            f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}")
+
+    def _writer(self) -> io.BufferedWriter:
+        if self._handle is None or self._handle.closed:
+            if self._segment_index == 0:
+                self._segment_index = 1
+                self._segment_bytes = 0
+            self._handle = open(  # noqa: SIM115 - long-lived appender
+                self._segment_path(self._segment_index), "ab")
+        return self._handle
+
+    def _rotate_if_needed(self) -> None:
+        if self._segment_bytes < self.max_segment_bytes:
+            return
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+        self._segment_index += 1
+        self._segment_bytes = 0
+
+    def _append(self, record: dict[str, Any], sync: bool) -> None:
+        self._rotate_if_needed()
+        data = encode_record(record)
+        handle = self._writer()
+        handle.write(data)
+        self._segment_bytes += len(data)
+        if sync:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- the logging protocol --------------------------------------------
+
+    def begin_batch(self, batch_id: str) -> None:
+        self._append({"kind": "begin", "batch": batch_id}, sync=False)
+
+    def append_document(self, batch_id: str,
+                        paper: dict[str, Any]) -> None:
+        self._append({"kind": "doc", "batch": batch_id, "paper": paper},
+                     sync=False)
+
+    def commit_batch(self, batch_id: str, count: int,
+                     skip_duplicates: bool = False) -> None:
+        """The durability point: flushed and fsynced before returning."""
+        self._append({
+            "kind": "commit", "batch": batch_id, "count": count,
+            "skip_duplicates": skip_duplicates,
+        }, sync=True)
+
+    def log_rollback(self, to_seq: int) -> None:
+        """Record a live rollback so replay reproduces it."""
+        self._append({"kind": "rollback", "to_seq": to_seq}, sync=True)
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- replay -----------------------------------------------------------
+
+    def replay(self) -> ReplayState:
+        """Scan every segment; return the committed-batch sequence.
+
+        The scan is strict about *where* damage appears: a torn frame is
+        only acceptable at the very tail of the log (the crash point).
+        Damage followed by more readable segments means acknowledged
+        data was corrupted in place — that raises
+        :class:`WalCorruptionError` instead of quietly shrinking
+        history.
+        """
+        state = ReplayState()
+        open_batches: dict[str, ReplayBatch] = {}
+        paths = self.segment_paths()
+        state.segments = len(paths)
+        for position, path in enumerate(paths):
+            data = path.read_bytes()
+            records, consumed = scan_segment(data)
+            for record in records:
+                self._apply_record(record, state, open_batches)
+            if consumed < len(data) and position < len(paths) - 1:
+                raise WalCorruptionError(
+                    f"segment {path.name} is torn mid-log (byte "
+                    f"{consumed} of {len(data)}) but later segments "
+                    "exist; refusing to drop committed history"
+                )
+        state.torn_batches = len(open_batches)
+        return state
+
+    @staticmethod
+    def _apply_record(record: dict[str, Any], state: ReplayState,
+                      open_batches: dict[str, ReplayBatch]) -> None:
+        kind = record.get("kind")
+        if kind == "begin":
+            batch_id = str(record.get("batch"))
+            open_batches[batch_id] = ReplayBatch(batch_id)
+        elif kind == "doc":
+            batch = open_batches.get(str(record.get("batch")))
+            if batch is not None:
+                batch.papers.append(record.get("paper") or {})
+        elif kind == "commit":
+            batch_id = str(record.get("batch"))
+            batch = open_batches.pop(batch_id, None)
+            if batch is None:
+                raise WalCorruptionError(
+                    f"commit for unknown batch {batch_id!r}")
+            expected = int(record.get("count", len(batch.papers)))
+            if expected != len(batch.papers):
+                raise WalCorruptionError(
+                    f"batch {batch_id!r} committed {expected} "
+                    f"document(s) but {len(batch.papers)} were logged"
+                )
+            batch.skip_duplicates = bool(
+                record.get("skip_duplicates", False))
+            state.batches.append(batch)
+        elif kind == "rollback":
+            to_seq = int(record.get("to_seq", 0))
+            if to_seq < 0 or to_seq > len(state.batches):
+                raise WalCorruptionError(
+                    f"rollback to batch {to_seq} but only "
+                    f"{len(state.batches)} committed"
+                )
+            del state.batches[to_seq:]
+        else:
+            raise WalCorruptionError(f"unknown record kind {kind!r}")
+
+    def truncate(self) -> None:
+        """Drop every segment (after a checkpoint made them redundant)."""
+        self.close()
+        for path in self.segment_paths():
+            path.unlink()
+        self._segment_index = 0
+        self._segment_bytes = 0

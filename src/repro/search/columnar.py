@@ -25,19 +25,28 @@ non-alphanumeric terms — falls back to the scalar pipeline.  Ordering is
 preserved exactly: score descending, ``paper_id`` ascending, then shard
 / insertion order, the same composite the heap merge uses.
 
-The index is version-stamped like the KG derived indexes: it is rebuilt
-whenever ``(collection.version, tfidf.num_documents)`` moves, so any
-docstore mutation invalidates it.
+The index is version-stamped like the KG derived indexes: it is
+invalidated whenever ``(collection.version, tfidf.num_documents)``
+moves.  Invalidation is **incremental for append-only motion**: when the
+stamp advanced by inserts alone (version and document count moved in
+lockstep), the new rows land in small per-shard *delta segments*
+appended to the existing immutable base — queries consult every segment
+and merge exactly; any other mutation triggers a full rebuild.  A
+background merge (the streaming-ingest tier's
+``SearchEngineBase.merge_segments``) periodically folds deltas back into
+one base segment; the merged index is byte-identical to a from-scratch
+rebuild, so either generation may answer a query.
 
-With ``REPRO_EXECUTOR_KIND=process`` the per-shard kernels run on a
+With ``REPRO_EXECUTOR_KIND=process`` the per-segment kernels run on a
 process pool (spawn context) behind the same thread-level ``scatter`` —
 ``FanoutBudget`` accounting, quiescence, and the fan-out observers all
-apply unchanged.  Shard arrays are shipped to each worker process once
-and cached there keyed by ``(index, shard, stamp)``; a stale stamp
-evicts the previous generation.  The caveats: spawn start-up costs
-~100ms per worker once, every worker eventually holds a copy of every
-shard it scored, and results are identical to thread mode because the
-same arrays produce the same kernels.
+apply unchanged.  Segment arrays are shipped to each worker process once
+and cached there keyed by ``(index key, (shard, position), segment
+id)``; a new segment at the same position evicts the previous
+generation.  The caveats: spawn start-up costs ~100ms per worker once,
+every worker eventually holds a copy of every segment it scored, and
+results are identical to thread mode because the same arrays produce the
+same kernels.
 """
 
 from __future__ import annotations
@@ -83,6 +92,18 @@ _ATOM_RE = re.compile(r"\w+")
 _ALNUM_RE = re.compile(r"[a-z0-9]+\Z")
 
 _INDEX_IDS = itertools.count(1)
+_SEGMENT_IDS = itertools.count(1)
+
+
+def new_index_key() -> str:
+    """A worker-cache key prefix for one engine's index lineage.
+
+    Engines mint one key at construction and reuse it across rebuilds
+    and extends, so the process-pool worker cache's slot eviction
+    (keyed on ``(index key, (shard, position))``) reclaims the previous
+    generation instead of leaking it.
+    """
+    return f"columnar-{os.getpid()}-{next(_INDEX_IDS)}"
 
 
 # -- match plans ------------------------------------------------------------
@@ -457,12 +478,14 @@ def score_shard(cols: ShardColumns, spec: QuerySpec,
 
 # -- process-pool dispatch --------------------------------------------------
 
-#: Worker-side shard cache: ``(index_key, shard, stamp) -> ShardColumns``.
-#: Payloads ship once per worker; a new stamp evicts the old generation.
-_WORKER_SHARDS: dict[tuple[str, int, Any], ShardColumns] = {}
+#: Worker-side segment cache:
+#: ``(index_key, (shard, position), segment_id) -> ShardColumns``.
+#: Payloads ship once per worker; a new segment id at the same
+#: ``(index_key, (shard, position))`` slot evicts the old generation.
+_WORKER_SHARDS: dict[tuple[str, Any, Any], ShardColumns] = {}
 
 
-def _worker_rank(key: tuple[str, int, Any],
+def _worker_rank(key: tuple[str, Any, Any],
                  payload: ShardColumns | None, spec: QuerySpec,
                  top_k: int) -> tuple[int, list] | None:
     """Runs in a worker process; ``None`` signals a cache miss."""
@@ -478,7 +501,7 @@ def _worker_rank(key: tuple[str, int, Any],
     return score_shard(cols, spec, top_k)
 
 
-def _rank_via_process(key: tuple[str, int, Any], cols: ShardColumns,
+def _rank_via_process(key: tuple[str, Any, Any], cols: ShardColumns,
                       spec: QuerySpec, top_k: int
                       ) -> tuple[int, list[tuple[float, str, int]]]:
     """Probe the worker cache; resend the shard payload on a miss.
@@ -501,73 +524,161 @@ def _rank_via_process(key: tuple[str, int, Any], cols: ShardColumns,
 
 # -- the index --------------------------------------------------------------
 
-class ColumnarIndex:
-    """Per-shard columnar arrays + the raw documents for page fetch.
+class Segment:
+    """One immutable slice of a shard's rows: arrays + raw documents.
 
-    Build is one tokenize/stem pass over the corpus — about the cost of
-    a single scalar query — amortized across every query until the next
-    docstore mutation bumps the stamp.
+    ``offset`` is the segment's first global row; local kernel rows map
+    to global rows by addition.  Segments never mutate after
+    construction — extending an index appends *new* segments, so a query
+    holding an older index object keeps scoring a consistent snapshot.
     """
 
-    def __init__(self, stamp: Any, shards: list[ShardColumns],
-                 documents: list[list[dict[str, Any]]],
-                 field_names: tuple[str, ...]) -> None:
-        self.stamp = stamp
-        self.shards = shards
-        self.documents = documents
-        self.field_names = field_names
-        self.key = f"columnar-{os.getpid()}-{next(_INDEX_IDS)}"
+    __slots__ = ("cols", "documents", "offset", "id")
 
-    @classmethod
-    def build(cls, collection: Collection | ShardedCollection,
-              field_names: Iterable[str], stamp: Any) -> "ColumnarIndex":
-        field_names = tuple(field_names)
-        if isinstance(collection, ShardedCollection):
-            sources: list[Collection] = list(collection.shards)
-        else:
-            sources = [collection]
-        documents = [source.find({}).to_list() for source in sources]
-        shards = [ShardColumns(docs, field_names) for docs in documents]
-        return cls(stamp, shards, documents, field_names)
+    def __init__(self, documents: list[dict[str, Any]],
+                 field_names: tuple[str, ...], offset: int) -> None:
+        self.cols = ShardColumns(documents, field_names)
+        self.documents = documents
+        self.offset = offset
+        self.id = next(_SEGMENT_IDS)
 
     @property
     def num_rows(self) -> int:
-        return sum(cols.num_rows for cols in self.shards)
+        return self.cols.num_rows
+
+
+def _shard_sources(
+        collection: Collection | ShardedCollection) -> list[Collection]:
+    if isinstance(collection, ShardedCollection):
+        return list(collection.shards)
+    return [collection]
+
+
+class ColumnarIndex:
+    """Per-shard segment lists + the raw documents for page fetch.
+
+    A fresh build is one tokenize/stem pass over the corpus — about the
+    cost of a single scalar query — amortized across every query until
+    the next docstore mutation moves the stamp.  Append-only motion is
+    much cheaper: :meth:`extend` tokenizes only the new rows into delta
+    segments (one per shard per extend) and shares the existing base
+    arrays.  Index objects are immutable snapshots; extend/merge produce
+    *new* objects, and the engines swap them in with a single atomic
+    attribute assignment.
+    """
+
+    def __init__(self, stamp: Any, segments: list[list[Segment]],
+                 field_names: tuple[str, ...],
+                 key: str | None = None) -> None:
+        self.stamp = stamp
+        self.segments = segments
+        self.field_names = field_names
+        self.key = key or new_index_key()
+
+    @classmethod
+    def build(cls, collection: Collection | ShardedCollection,
+              field_names: Iterable[str], stamp: Any,
+              key: str | None = None) -> "ColumnarIndex":
+        field_names = tuple(field_names)
+        segments = [
+            [Segment(source.find({}).to_list(), field_names, 0)]
+            for source in _shard_sources(collection)
+        ]
+        return cls(stamp, segments, field_names, key=key)
+
+    def extend(self, collection: Collection | ShardedCollection,
+               stamp: Any) -> "ColumnarIndex":
+        """A new index covering rows appended since this one was built.
+
+        Only sound for append-only motion (the engine checks the stamp
+        arithmetic before calling); shards whose row count did not move
+        get no new segment.  The result shares this index's base/delta
+        arrays and worker-cache key — ``self`` stays fully usable by
+        queries already holding it.
+        """
+        sources = _shard_sources(collection)
+        if len(sources) != len(self.segments):
+            return type(self).build(collection, self.field_names, stamp,
+                                    key=self.key)
+        lists = []
+        for shard_segments, source in zip(self.segments, sources):
+            indexed = sum(seg.num_rows for seg in shard_segments)
+            delta = source.find({}).to_list()[indexed:]
+            if delta:
+                shard_segments = shard_segments + [
+                    Segment(delta, self.field_names, indexed)
+                ]
+            else:
+                shard_segments = list(shard_segments)
+            lists.append(shard_segments)
+        return type(self)(stamp, lists, self.field_names, key=self.key)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(seg.num_rows
+                   for shard in self.segments for seg in shard)
+
+    @property
+    def delta_segments(self) -> int:
+        """Segments beyond each shard's base (the merge debt)."""
+        return sum(max(0, len(shard) - 1) for shard in self.segments)
+
+    @property
+    def delta_rows(self) -> int:
+        """Rows living outside the base segments."""
+        return sum(seg.num_rows
+                   for shard in self.segments for seg in shard[1:])
 
     def rank(self, spec: QuerySpec, top_k: int
              ) -> tuple[int, list[tuple[float, str, int, int]]]:
-        """Scatter the kernel per shard; merge in exact page order.
+        """Scatter the kernel per segment; merge in exact page order.
 
         Returns ``(total_matches, merged)`` with merged entries
-        ``(score, paper_id, shard, row)`` truncated to ``top_k``.
-        Thread tasks go through :func:`repro.docstore.executor.scatter`,
-        so ambient ``FanoutBudget``s, quiescence-on-error, and fan-out
-        observers behave exactly as on the scalar path; with
-        ``REPRO_EXECUTOR_KIND=process`` each task round-trips its shard
-        kernel through the process pool.
+        ``(score, paper_id, shard, row)`` truncated to ``top_k`` —
+        ``row`` is global (segment offset + local row), so the composite
+        order is identical whether the rows live in one base segment or
+        across deltas.  Thread tasks go through
+        :func:`repro.docstore.executor.scatter`, so ambient
+        ``FanoutBudget``s, quiescence-on-error, and fan-out observers
+        behave exactly as on the scalar path; with
+        ``REPRO_EXECUTOR_KIND=process`` each task round-trips its
+        segment kernel through the process pool.
         """
         use_process = _executor.executor_kind() == "process"
+        tasks = [
+            (shard, position, segment)
+            for shard, shard_segments in enumerate(self.segments)
+            for position, segment in enumerate(shard_segments)
+            if segment.num_rows
+        ]
 
-        def shard_task(index: int):
-            cols = self.shards[index]
+        def segment_task(shard: int, position: int, segment: Segment):
             if use_process:
-                return _rank_via_process(
-                    (self.key, index, self.stamp), cols, spec, top_k
+                total, partial = _rank_via_process(
+                    (self.key, (shard, position), segment.id),
+                    segment.cols, spec, top_k,
                 )
-            return score_shard(cols, spec, top_k)
+            else:
+                total, partial = score_shard(segment.cols, spec, top_k)
+            return total, [
+                (score, paper_id, shard, segment.offset + row)
+                for score, paper_id, row in partial
+            ]
 
         partials = _executor.scatter([
-            (lambda i=i: shard_task(i)) for i in range(len(self.shards))
+            (lambda t=task: segment_task(*t)) for task in tasks
         ])
         total = sum(partial[0] for partial in partials)
-        merged = [
-            (score, paper_id, shard, row)
-            for shard, partial in enumerate(partials)
-            for score, paper_id, row in partial[1]
-        ]
+        merged = [entry for partial in partials for entry in partial[1]]
         merged.sort(key=lambda entry: (-entry[0], entry[1], entry[2],
                                        entry[3]))
         return total, merged[:top_k]
+
+    def _segment_for(self, shard: int, row: int) -> Segment:
+        for segment in reversed(self.segments[shard]):
+            if row >= segment.offset:
+                return segment
+        raise IndexError(f"row {row} not in shard {shard}")
 
     def fetch(self, entries: list[tuple[float, str, int, int]],
               projection: dict[str, int]) -> list[dict[str, Any]]:
@@ -578,8 +689,10 @@ class ColumnarIndex:
         """
         page = []
         for score, _paper_id, shard, row in entries:
-            document = apply_projection(self.documents[shard][row],
-                                        projection)
+            segment = self._segment_for(shard, row)
+            document = apply_projection(
+                segment.documents[row - segment.offset], projection
+            )
             deep_set(document, "score", score)
             page.append(document)
         return page
@@ -592,7 +705,7 @@ def stamp_for(collection: Collection | ShardedCollection,
 
 
 def build_index(collection: Collection | ShardedCollection,
-                field_names: Iterable[str],
-                stamp: Any) -> ColumnarIndex:
+                field_names: Iterable[str], stamp: Any,
+                key: str | None = None) -> ColumnarIndex:
     """Convenience wrapper (import surface for the engines)."""
-    return ColumnarIndex.build(collection, field_names, stamp)
+    return ColumnarIndex.build(collection, field_names, stamp, key=key)

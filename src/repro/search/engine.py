@@ -150,12 +150,16 @@ class SearchEngineBase:
             )
         self._indexed = 0
         self._rank_serial = itertools.count(1)
-        # Version-stamped columnar index; rebuilt lazily whenever the
-        # docstore/model stamp moves.  A rebuild race between readers
-        # merely duplicates work (assignment is atomic; both builds see
-        # the same snapshot) — ingest vs read is serialized by the
-        # serving tier's data lock, as for every other read path.
+        # Version-stamped columnar index; refreshed lazily whenever the
+        # docstore/model stamp moves — extended with delta segments for
+        # append-only motion, fully rebuilt otherwise.  A refresh race
+        # between readers merely duplicates work (assignment is atomic;
+        # both builds see the same snapshot) — ingest vs read is
+        # serialized by the serving tier's data lock, as for every other
+        # read path.  The key is minted once so process-pool workers
+        # evict superseded generations instead of caching them forever.
         self._columnar: columnar.ColumnarIndex | None = None
+        self._columnar_key = columnar.new_index_key()
 
     # -- ingest -------------------------------------------------------------
 
@@ -256,22 +260,79 @@ class SearchEngineBase:
 
     # -- evaluation -------------------------------------------------------------
 
+    @staticmethod
+    def _append_only_delta(old: tuple[int, int],
+                           new: tuple[int, int]) -> bool:
+        """True when the stamp moved by document inserts alone.
+
+        ``add_paper`` bumps the collection version and the model's
+        document count in lockstep (+1 each per paper); any other
+        mutation — delete, update, ``touch``, ``advance_version`` —
+        moves the version without the count, failing this check and
+        forcing a full rebuild.
+        """
+        return new[0] - old[0] == new[1] - old[1] > 0
+
     def _columnar_index(self) -> columnar.ColumnarIndex:
-        """The version-stamped columnar index, rebuilt when stale."""
+        """One consistent columnar snapshot for the calling query.
+
+        The returned index object is immutable: callers must do their
+        whole rank + page fetch against it rather than re-fetching
+        mid-query, so a concurrent refresh can never swap the arrays
+        out from under a running kernel.  When the stamp advanced by
+        inserts alone the refresh is incremental — only the new rows
+        are tokenized, into per-shard delta segments; anything else
+        rebuilds from scratch.
+        """
         stamp = columnar.stamp_for(self.collection,
                                    self.tfidf.num_documents)
         index = self._columnar
-        if index is None or index.stamp != stamp:
+        if index is not None and index.stamp == stamp:
+            return index
+        if index is not None and self._append_only_delta(index.stamp,
+                                                         stamp):
+            index = index.extend(self.collection, stamp)
+        else:
             index = columnar.build_index(
-                self.collection, ALL_SEARCH_FIELDS, stamp
+                self.collection, ALL_SEARCH_FIELDS, stamp,
+                key=self._columnar_key,
             )
-            self._columnar = index
+        self._columnar = index
         return index
 
-    def _rank_columnar(self, spec: columnar.QuerySpec, skip: int,
+    @property
+    def delta_rows(self) -> int:
+        """Rows currently served from delta segments (merge debt)."""
+        index = self._columnar
+        return index.delta_rows if index is not None else 0
+
+    def merge_segments(self) -> bool:
+        """Fold delta segments back into one base segment per shard.
+
+        A full rebuild at the current stamp, swapped in with one atomic
+        assignment — in-flight queries keep their old snapshot; the
+        merged index answers byte-identically (the differential tests
+        assert it), so the streaming-ingest tier runs this under the
+        *read* side of the serving data lock.  Returns whether a new
+        index was installed.
+        """
+        index = self._columnar
+        if index is None:
+            return False
+        stamp = columnar.stamp_for(self.collection,
+                                   self.tfidf.num_documents)
+        if index.stamp == stamp and index.delta_segments == 0:
+            return False
+        self._columnar = columnar.build_index(
+            self.collection, ALL_SEARCH_FIELDS, stamp,
+            key=self._columnar_key,
+        )
+        return True
+
+    def _rank_columnar(self, index: columnar.ColumnarIndex,
+                       spec: columnar.QuerySpec, skip: int,
                        top_k: int) -> tuple[AggregationResult, int]:
-        """Kernel ranking: numpy match+score per shard, exact merge."""
-        index = self._columnar_index()
+        """Kernel ranking: numpy match+score per segment, exact merge."""
         kernel_started = time.perf_counter()
         total, merged = index.rank(spec, top_k)
         page_entries = merged[skip:]
@@ -312,7 +373,13 @@ class SearchEngineBase:
             )
             if spec is not None:
                 started = time.perf_counter()
-                paged, total = self._rank_columnar(spec, skip, top_k)
+                # One atomic snapshot per query: the same index object
+                # serves candidate ranking *and* page fetch, so a
+                # concurrent ingest can refresh ``self._columnar``
+                # without a half-updated view ever being observable.
+                index = self._columnar_index()
+                paged, total = self._rank_columnar(index, spec, skip,
+                                                   top_k)
                 return paged, total, time.perf_counter() - started
         # A per-invocation name: concurrent queries against the same
         # engine (the serving tier runs readers in parallel) must not

@@ -154,16 +154,38 @@ class ResultCache:
         with self._lock:
             return self.stats.as_dict()
 
+    def _fresh_negative(self, key: CacheKey, versions: VersionSnapshot,
+                        now: float) -> _NegativeEntry | None:
+        """The key's negative entry iff still valid; drops it otherwise.
+
+        The single invalidation point for remembered failures: *every*
+        lookup path (:meth:`get` and :meth:`claim` alike) funnels
+        through here, so a version bump — a document fix, a
+        ``touch()``, a rollback — un-negatives the key on the very next
+        lookup no matter which engine path performs it.  Caller holds
+        the lock.
+        """
+        negative = self._negatives.get(key)  # lint: allow=REP201
+        if negative is None:
+            return None
+        if negative.versions != versions or now >= negative.expires_at:
+            del self._negatives[key]
+            return None
+        return negative
+
     def get(self, key: CacheKey,
             versions: VersionSnapshot) -> tuple[bool, Any]:
         """Look up ``key`` against the current data ``versions``.
 
         Returns ``(hit, value)``.  An entry computed against different
         versions (data changed since) or past its TTL is removed and
-        reported as a miss.
+        reported as a miss.  Stale negative entries for the key are
+        dropped as a side effect (fresh ones are :meth:`claim`'s to
+        replay — this positive-only lookup just reports a miss).
         """
         now = self._clock()
         with self._lock:
+            self._fresh_negative(key, versions, now)
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
@@ -186,6 +208,10 @@ class ResultCache:
             value: Any) -> None:
         now = self._clock()
         with self._lock:
+            # A successful computation supersedes any remembered
+            # failure for the key, whatever snapshot it was cached
+            # under — never let both answers coexist.
+            self._negatives.pop(key, None)
             self._entries[key] = _Entry(
                 value=value, versions=versions,
                 expires_at=now + self.ttl_seconds, stored_at=now,
@@ -223,14 +249,10 @@ class ResultCache:
                     self._entries.move_to_end(key)
                     self.stats.hits += 1
                     return "hit", entry.value
-            negative = self._negatives.get(key)
+            negative = self._fresh_negative(key, versions, now)
             if negative is not None:
-                if negative.versions != versions \
-                        or now >= negative.expires_at:
-                    del self._negatives[key]
-                else:
-                    self.stats.negative_hits += 1
-                    return "negative", negative.exception
+                self.stats.negative_hits += 1
+                return "negative", negative.exception
             flight = self._inflight.get(key)
             if flight is not None and flight.versions == versions:
                 self.stats.collapsed += 1
@@ -250,19 +272,30 @@ class ResultCache:
         flight.future.set_result(value)
 
     def fail(self, flight: Flight, exception: BaseException,
-             negative: bool = False) -> None:
+             negative: bool = False,
+             versions: VersionSnapshot | None = None) -> None:
         """Leader failure: wake followers; optionally cache the failure.
 
         ``negative`` marks deterministic request errors — they are
         replayed for ``negative_ttl_seconds`` so repeated bad requests
         cost nothing.  Transient errors (overload, shard flaps) must
         pass ``negative=False`` so the next request recomputes.
+
+        ``versions`` is the snapshot the failure was actually *observed*
+        under (read inside the execution lock).  Defaults to the
+        claim-time ``flight.versions`` — but an ingest can land between
+        claim and execution, and a negative stamped with the stale
+        claim-time snapshot would be dropped as outdated on the next
+        lookup, defeating the cache exactly when the failure is still
+        current.
         """
         if negative:
             now = self._clock()
             with self._lock:
                 self._negatives[flight.key] = _NegativeEntry(
-                    exception=exception, versions=flight.versions,
+                    exception=exception,
+                    versions=(versions if versions is not None
+                              else flight.versions),
                     expires_at=now + self.negative_ttl_seconds,
                 )
                 self._negatives.move_to_end(flight.key)

@@ -181,7 +181,16 @@ class QueryService:
             num_workers=self.config.num_workers,
             max_queue=self.config.max_queue,
         )
+        # Writes get their own single worker: an ingest queued on the
+        # query pool could sit behind a pool's worth of readers while
+        # holding nothing, then deadlock-by-queue when those readers
+        # are themselves waiting for pool slots.  One writer thread
+        # also serializes batches without holding the write lock in
+        # the caller.
+        self._ingest_pool = WorkerPool(num_workers=1, max_queue=8,
+                                       name="ingest")
         self._data_lock = ReadWriteLock()
+        self.ingest_engine: Any = None
         self._closed = False
         if self.config.validate_pipelines:
             for engine in (system.all_fields, system.title_abstract,
@@ -370,6 +379,86 @@ class QueryService:
             return self.system.ingest(papers,
                                       skip_duplicates=skip_duplicates)
 
+    def attach_ingest(self, engine: Any) -> "QueryService":
+        """Adopt an :class:`~repro.ingest.engine.IngestEngine`.
+
+        The engine takes this service's reader/writer lock, so its
+        batch commits exclude queries atomically and its background
+        segment merges share the read side with them.
+        :meth:`submit_ingest` then routes through the engine — WAL,
+        quality gate, snapshots — instead of bare ``system.ingest``.
+        """
+        engine.use_lock(self._data_lock)
+        self.ingest_engine = engine
+        return self
+
+    def submit_ingest(self, papers: list[Any], *,
+                      skip_duplicates: bool = False,
+                      timeout_seconds: float | None = None
+                      ) -> "Future[ServedResult]":
+        """Admit one ingest batch; returns a future of the receipt.
+
+        Runs on the dedicated single-worker ingest pool — never the
+        query pool — under the data write lock.  Admission pricing
+        charges :data:`~repro.ingest.engine.INGEST_DOC_COST` work units
+        per document against ``max_request_cost``, so one oversized
+        batch cannot monopolize the writer any more than an expensive
+        query could a reader.
+        """
+        from repro.ingest.engine import INGEST_DOC_COST  # noqa: PLC0415
+
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        started = time.monotonic()
+        self.metrics.record_request("ingest")
+        if self.config.max_request_cost is not None:
+            batch = len(papers) if isinstance(papers, list) else 1
+            cost = batch * INGEST_DOC_COST
+            if cost > self.config.max_request_cost:
+                self.metrics.record_cost_rejected()
+                raise RequestTooExpensiveError(
+                    f"estimated ingest cost {cost:.0f} exceeds budget "
+                    f"{self.config.max_request_cost:.0f} "
+                    f"({batch} document(s); split the batch)"
+                )
+        timeout = (timeout_seconds if timeout_seconds is not None
+                   else self.config.default_timeout_seconds)
+        deadline = None if timeout is None else started + timeout
+
+        def run() -> ServedResult:
+            try:
+                value = self._run_ingest(papers, skip_duplicates)
+            except Exception:
+                self.metrics.record_error("ingest")
+                raise
+            seconds = time.monotonic() - started
+            self.metrics.record_latency("ingest", seconds)
+            return ServedResult(engine="ingest", value=value,
+                                cached=False, seconds=seconds)
+
+        try:
+            return self._ingest_pool.submit(run, deadline=deadline)
+        except ServiceOverloadedError:
+            self.metrics.record_shed()
+            raise
+
+    def _run_ingest(self, papers: list[Any],
+                    skip_duplicates: bool) -> dict[str, Any]:
+        engine = self.ingest_engine
+        if engine is not None:
+            receipt = engine.commit_batch(
+                papers, skip_duplicates=skip_duplicates)
+            return receipt.to_json()
+        with self._data_lock.write_locked():
+            report = self.system.ingest(papers,
+                                        skip_duplicates=skip_duplicates)
+        return {
+            "accepted": len(papers),
+            "subtrees": report.subtrees,
+            "versions": {"store": self.system.store.version,
+                         "kg": self.system.graph.version},
+        }
+
     def stats(self) -> dict[str, Any]:
         """Request, cache, and latency statistics for dashboards/CLI."""
         snapshot = self.metrics.snapshot()
@@ -398,6 +487,12 @@ class QueryService:
             "store": self.system.store.version,
             "kg": self.system.graph.version,
         }
+        snapshot["ingest"] = {
+            "attached": self.ingest_engine is not None,
+            "pending": self._ingest_pool.pending,
+            **(self.ingest_engine.stats()
+               if self.ingest_engine is not None else {}),
+        }
         return snapshot
 
     def close(self, wait: bool = True) -> None:
@@ -408,6 +503,7 @@ class QueryService:
         if self.loadctl is not None:
             remove_fanout_observer(self.loadctl.observe_fanout)
         self._pool.shutdown(wait=wait)
+        self._ingest_pool.shutdown(wait=wait)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -490,6 +586,7 @@ class QueryService:
                  flight: Flight) -> ServedResult:
         runner = self._dispatch[engine]
         budget = None if self.loadctl is None else self.loadctl.budget()
+        versions = flight.versions
         try:
             with self._data_lock.read_locked(), budget_scope(budget):
                 versions = self._versions(engine)
@@ -503,9 +600,13 @@ class QueryService:
                 )
         except Exception as exc:
             # A deterministic request error (bad query) is worth
-            # remembering; transient failures must stay uncached.
+            # remembering; transient failures must stay uncached.  The
+            # negative is stamped with the versions read under the read
+            # lock — the snapshot the failure was observed against —
+            # not the possibly-stale claim-time snapshot.
             self.cache.fail(flight, exc,
-                            negative=isinstance(exc, QueryError))
+                            negative=isinstance(exc, QueryError),
+                            versions=versions)
             self.metrics.record_error(engine)
             raise
         self.cache.complete(flight, versions, value)

@@ -167,3 +167,85 @@ class TestCli:
               "--epochs", "1"])
         assert main(["kg", "--system", system_path,
                      "zzz-not-a-node"]) == 1
+
+
+class TestDifferentialReload:
+    """Pre/post-reload page identity — the staleness bugfix sweep.
+
+    A reloaded system must answer every surface identically to the one
+    that was saved: same ranker configuration (a BM25 system must not
+    quietly come back as TF-IDF), same scores, and a KGQL tier that
+    actually reads the restored graph (it used to keep answering from
+    the empty seeded one).
+    """
+
+    QUERIES = ["vaccine", "covid trial", "antibody response"]
+
+    def _pages(self, system):
+        pages = {}
+        for query in self.QUERIES:
+            results = system.search(query)
+            pages[query] = {
+                (round(hit.score, 9), hit.paper_id)
+                for hit in results
+            } | {("total", results.total_matches)}
+        return pages
+
+    @pytest.mark.parametrize("ranker", ["tfidf", "bm25"])
+    def test_ranker_pages_identical_after_reload(self, corpus,
+                                                 tmp_path, ranker):
+        system = CovidKG(CovidKGConfig(
+            num_shards=2, ranker=ranker, bm25_k1=1.3, bm25_b=0.6,
+        ))
+        system.ingest(corpus)
+        before = self._pages(system)
+        save_system(system, tmp_path / ranker)
+
+        restored = load_system(tmp_path / ranker)
+        assert restored.config.ranker == ranker
+        assert restored.config.bm25_k1 == pytest.approx(1.3)
+        assert restored.config.bm25_b == pytest.approx(0.6)
+        assert self._pages(restored) == before
+
+    def test_rankers_actually_differ(self, corpus, tmp_path):
+        """The identity test above has teeth only if the configs do."""
+        tfidf = CovidKG(CovidKGConfig(num_shards=2, ranker="tfidf"))
+        tfidf.ingest(corpus)
+        bm25 = CovidKG(CovidKGConfig(num_shards=2, ranker="bm25"))
+        bm25.ingest(corpus)
+        assert any(
+            {(round(h.score, 9), h.paper_id) for h in
+             tfidf.search(q)} !=
+            {(round(h.score, 9), h.paper_id) for h in bm25.search(q)}
+            for q in self.QUERIES
+        )
+
+    def test_kgql_answers_from_restored_graph(self, built_system,
+                                              tmp_path):
+        """Regression: ``load_system`` used to leave ``kgql.graph``
+        pointing at the discarded seed graph."""
+        query = 'MATCH (v:"Vaccines")-[parent_of*1..2]->(e) RETURN e'
+        before = built_system.query_graph(query)
+        save_system(built_system, tmp_path / "kgql")
+        restored = load_system(tmp_path / "kgql")
+        assert restored.kgql.graph is restored.graph
+        after = restored.query_graph(query)
+        assert after.total_matches == before.total_matches
+        assert [
+            [row.bindings[var]["label"] for var in after.columns]
+            for row in after.rows
+        ] == [
+            [row.bindings[var]["label"] for var in before.columns]
+            for row in before.rows
+        ]
+
+    def test_matcher_cache_not_stale_after_reload(self, built_system,
+                                                  tmp_path):
+        # Warm the matcher cache against the pre-save graph, then make
+        # sure a reload does not serve from it.
+        built_system.search_graph("vaccines")
+        save_system(built_system, tmp_path / "matcher")
+        restored = load_system(tmp_path / "matcher")
+        assert restored.matcher.graph is restored.graph
+        hits = restored.search_graph("vaccines")
+        assert hits

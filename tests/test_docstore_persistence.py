@@ -118,3 +118,50 @@ class TestStorageReport:
         report = storage_report(Collection())
         assert report.bytes_per_document == 0.0
         assert report.shard_skew == 1.0
+
+
+class TestVersionSidecar:
+    """The mutation counter must survive the snapshot roundtrip.
+
+    Replaying the inserts alone resets the counter, and a restored
+    collection whose version restarted from zero could alias cached
+    results computed in the pre-save process.
+    """
+
+    def test_version_resumes_past_saved_value(self, tmp_path):
+        collection = Collection("papers")
+        collection.insert_many([{"title": "a"}, {"title": "b"}])
+        collection.update_many({"title": "a"}, {"$set": {"seen": 1}})
+        saved_version = collection.version
+        path = tmp_path / "papers.jsonl"
+        save_collection(collection, path)
+
+        loaded = load_collection(path)
+        assert loaded.version > saved_version
+
+    def test_sidecar_written_next_to_snapshot(self, tmp_path):
+        collection = Collection("papers")
+        collection.insert_one({"title": "a"})
+        path = tmp_path / "papers.jsonl"
+        save_collection(collection, path)
+        sidecar = tmp_path / "papers.jsonl.meta.json"
+        assert sidecar.exists()
+
+    def test_snapshot_without_sidecar_still_loads(self, tmp_path):
+        """Back-compat: snapshots from older code have no sidecar."""
+        collection = Collection("papers")
+        collection.insert_one({"title": "a"})
+        path = tmp_path / "papers.jsonl"
+        save_collection(collection, path)
+        (tmp_path / "papers.jsonl.meta.json").unlink()
+        loaded = load_collection(path)
+        assert len(loaded) == 1
+
+    def test_corrupt_sidecar_raises(self, tmp_path):
+        collection = Collection("papers")
+        collection.insert_one({"title": "a"})
+        path = tmp_path / "papers.jsonl"
+        save_collection(collection, path)
+        (tmp_path / "papers.jsonl.meta.json").write_text("{not json")
+        with pytest.raises(PersistenceError):
+            load_collection(path)

@@ -1,0 +1,289 @@
+"""IngestEngine: commit, quality gate, rollback, crash replay, merge.
+
+The recurring assertion here is **byte identity**: after any recovery
+path (rollback, crash replay, background merge) the system must answer
+queries with pages identical to a reference system that never took the
+detour.
+"""
+
+import pytest
+
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.errors import IngestRejectedError, SnapshotNotFoundError
+from repro.ingest.engine import IngestEngine
+from repro.ingest.snapshots import system_versions
+
+QUERIES = ["covid vaccine", "antibody response", "clinical trial",
+           "side effects"]
+
+
+def _corpus(count):
+    return CorpusGenerator(GeneratorConfig(
+        seed=41, papers_per_week=20, tables_per_paper=(1, 2),
+    )).papers(count)
+
+
+def _fresh_system(papers):
+    system = CovidKG(CovidKGConfig(num_shards=2))
+    if papers:
+        system.ingest(papers)
+    return system
+
+
+def _pages(system):
+    """Full result pages for every probe query — the identity probe."""
+    pages = {}
+    for query in QUERIES:
+        results = system.search(query, page=1)
+        pages[query] = [
+            (hit.paper_id, hit.score, hit.title, tuple(
+                sorted(hit.snippets.items())))
+            for hit in results
+        ] + [("total", results.total_matches)]
+    pages["kg"] = [
+        (hit.node.label, hit.score) for hit in
+        system.search_graph("side effects", top_k=8)
+    ]
+    return pages
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _corpus(50)
+
+
+class TestCommit:
+    def test_receipt_and_visibility(self, corpus, tmp_path):
+        system = _fresh_system(corpus[:30])
+        before = system.search("covid", page=1).total_matches
+        with IngestEngine(system, tmp_path) as engine:
+            receipt = engine.commit_batch(corpus[30:40])
+            assert receipt.accepted == 10
+            assert receipt.seq == 1
+            assert receipt.snapshot == "batch-000001"
+            assert receipt.batch_id == "ingest-000001"
+            assert receipt.versions == system_versions(system)
+            after = system.search("covid", page=1).total_matches
+            assert after >= before
+            assert len(system.store) == 40
+
+    def test_quality_gate_rejects_batch_atomically(self, corpus,
+                                                   tmp_path):
+        system = _fresh_system(corpus[:20])
+        bad = dict(corpus[25])
+        bad.pop("abstract")
+        with IngestEngine(system, tmp_path) as engine:
+            with pytest.raises(IngestRejectedError) as info:
+                engine.commit_batch([corpus[20], bad, corpus[21]])
+            rejects = info.value.rejects
+            assert len(rejects) == 1
+            assert rejects[0]["paper_id"] == bad["paper_id"]
+            # All-or-nothing: the two valid papers did not land either.
+            assert len(system.store) == 20
+            assert engine.wal.segment_paths() == []
+
+    def test_malformed_table_rows_rejected(self, corpus, tmp_path):
+        system = _fresh_system(corpus[:5])
+        bad = dict(corpus[10])
+        bad["tables"] = [{"caption": "c", "rows": "not-a-list"}]
+        with IngestEngine(system, tmp_path) as engine:
+            with pytest.raises(IngestRejectedError):
+                engine.commit_batch([bad])
+
+    def test_store_duplicates_preflighted(self, corpus, tmp_path):
+        system = _fresh_system(corpus[:20])
+        with IngestEngine(system, tmp_path) as engine:
+            with pytest.raises(IngestRejectedError) as info:
+                engine.commit_batch([corpus[19], corpus[20]])
+            assert info.value.rejects[0]["paper_id"] == \
+                corpus[19]["paper_id"]
+            # The duplicate was caught before anything was logged or
+            # applied: the valid paper did not sneak in.
+            assert len(system.store) == 20
+            assert engine.wal.replay().batches == []
+
+    def test_skip_duplicates_reports_actual_insertions(self, corpus,
+                                                       tmp_path):
+        system = _fresh_system(corpus[:20])
+        with IngestEngine(system, tmp_path) as engine:
+            receipt = engine.commit_batch(corpus[15:25],
+                                          skip_duplicates=True)
+            assert receipt.accepted == 5  # 5 were redeliveries
+            assert len(system.store) == 25
+
+
+class TestRollback:
+    def test_rollback_restores_byte_identical_pages(self, corpus,
+                                                    tmp_path):
+        system = _fresh_system(corpus[:30])
+        with IngestEngine(system, tmp_path) as engine:
+            engine.commit_batch(corpus[30:40])
+            reference = _pages(system)
+            engine.commit_batch(corpus[40:50])
+            assert _pages(system) != reference  # the batch did change
+            snapshot = engine.rollback("batch-000001")
+            assert snapshot.seq == 1
+            assert _pages(system) == reference
+            assert len(system.store) == 40
+
+    def test_rollback_to_base_empties_streamed_corpus(self, corpus,
+                                                      tmp_path):
+        system = _fresh_system(corpus[:30])
+        reference = _pages(system)
+        with IngestEngine(system, tmp_path) as engine:
+            engine.commit_batch(corpus[30:40])
+            engine.rollback("base")
+            assert _pages(system) == reference
+            assert len(system.store) == 30
+
+    def test_version_counters_never_repeat(self, corpus, tmp_path):
+        system = _fresh_system(corpus[:30])
+        with IngestEngine(system, tmp_path) as engine:
+            engine.commit_batch(corpus[30:40])
+            before = system_versions(system)
+            engine.rollback("base")
+            after = system_versions(system)
+            for name, value in after.items():
+                assert value > before[name], name
+
+    def test_rollback_drops_newer_snapshots(self, corpus, tmp_path):
+        system = _fresh_system(corpus[:30])
+        with IngestEngine(system, tmp_path) as engine:
+            engine.commit_batch(corpus[30:35])
+            engine.commit_batch(corpus[35:40])
+            engine.rollback("batch-000001")
+            assert "batch-000002" not in engine.snapshots
+            with pytest.raises(SnapshotNotFoundError):
+                engine.rollback("batch-000002")
+            # The sequence resumes from the restore point.
+            receipt = engine.commit_batch(corpus[35:40])
+            assert receipt.seq == 2
+
+    def test_unknown_snapshot_is_typed_error(self, corpus, tmp_path):
+        system = _fresh_system(corpus[:5])
+        with IngestEngine(system, tmp_path) as engine:
+            with pytest.raises(SnapshotNotFoundError):
+                engine.rollback("batch-999999")
+
+
+class TestCrashReplay:
+    def test_replay_reproduces_committed_state(self, corpus, tmp_path):
+        system = _fresh_system(corpus[:30])
+        with IngestEngine(system, tmp_path) as engine:
+            engine.commit_batch(corpus[30:40])
+            engine.commit_batch(corpus[40:50])
+            reference = _pages(system)
+
+        # "Crash": a brand-new process builds the same base and replays.
+        recovered = _fresh_system(corpus[:30])
+        with IngestEngine(recovered, tmp_path) as engine:
+            assert engine.replay() == 2
+            assert _pages(recovered) == reference
+            assert len(recovered.store) == 50
+            # New batch ids continue past the replayed ones.
+            receipt = engine.commit_batch(
+                _corpus(55)[50:], skip_duplicates=True)
+            assert receipt.batch_id == "ingest-000003"
+
+    def test_replay_honours_logged_rollback(self, corpus, tmp_path):
+        system = _fresh_system(corpus[:30])
+        with IngestEngine(system, tmp_path) as engine:
+            engine.commit_batch(corpus[30:40])
+            reference = _pages(system)
+            engine.commit_batch(corpus[40:50])
+            engine.rollback("batch-000001")
+
+        recovered = _fresh_system(corpus[:30])
+        with IngestEngine(recovered, tmp_path) as engine:
+            assert engine.replay() == 1
+            assert _pages(recovered) == reference
+
+    def test_torn_batch_is_invisible_after_apply_failure(self, corpus,
+                                                         tmp_path):
+        system = _fresh_system(corpus[:30])
+        engine = IngestEngine(system, tmp_path)
+        reference = _pages(system)
+
+        original = system.ingest
+
+        def exploding_ingest(papers, skip_duplicates=False):
+            # Apply half the batch, then die — the worst-case partial.
+            original(papers[:3], skip_duplicates=skip_duplicates)
+            raise RuntimeError("simulated crash mid-apply")
+
+        system.ingest = exploding_ingest
+        try:
+            with pytest.raises(RuntimeError):
+                engine.commit_batch(corpus[30:40])
+        finally:
+            system.ingest = original
+            engine.close()
+        # Memory was restored from the snapshot...
+        assert _pages(system) == reference
+        assert len(system.store) == 30
+        # ...and the torn WAL batch replays to nothing.
+        recovered = _fresh_system(corpus[:30])
+        with IngestEngine(recovered, tmp_path) as engine:
+            assert engine.replay() == 0
+            assert _pages(recovered) == reference
+
+
+class TestMergeAndCheckpoint:
+    def test_merge_is_byte_identical_to_rebuild(self, corpus, tmp_path):
+        streamed = _fresh_system(corpus[:30])
+        _pages(streamed)  # materialize the base columnar index first
+        with IngestEngine(streamed, tmp_path) as engine:
+            engine.commit_batch(corpus[30:40])
+            engine.commit_batch(corpus[40:50])
+            with_deltas = _pages(streamed)
+            assert streamed.all_fields.delta_rows > 0
+            assert engine.merge_now() >= 1
+            assert streamed.all_fields.delta_rows == 0
+            assert _pages(streamed) == with_deltas
+        # And both equal a system that indexed everything offline.
+        offline = _fresh_system(corpus[:50])
+        assert _pages(offline) == with_deltas
+
+    def test_background_merge_triggers_past_threshold(self, corpus,
+                                                      tmp_path):
+        import time
+
+        system = _fresh_system(corpus[:30])
+        engine = IngestEngine(system, tmp_path, merge_threshold=5)
+        try:
+            system.search("covid")  # materialize the columnar index
+            engine.commit_batch(corpus[30:40])
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if engine.stats()["merges"] >= 1:
+                    break
+                time.sleep(0.02)
+            assert engine.stats()["merges"] >= 1
+            assert system.all_fields.delta_rows == 0
+        finally:
+            engine.close()
+
+    def test_checkpoint_persists_and_truncates(self, corpus, tmp_path):
+        from repro.api.persistence import load_system
+
+        system = _fresh_system(corpus[:30])
+        with IngestEngine(system, tmp_path / "ingest") as engine:
+            engine.commit_batch(corpus[30:40])
+            reference = _pages(system)
+            engine.checkpoint(tmp_path / "saved")
+            assert engine.wal.segment_paths() == []
+
+        reloaded = load_system(tmp_path / "saved")
+        assert _pages(reloaded) == reference
+
+    def test_stats_shape(self, corpus, tmp_path):
+        system = _fresh_system(corpus[:30])
+        with IngestEngine(system, tmp_path) as engine:
+            engine.commit_batch(corpus[30:35])
+            stats = engine.stats()
+            assert stats["seq"] == 1
+            assert stats["snapshots"] == ["base", "batch-000001"]
+            assert stats["wal_segments"] >= 1
+            assert set(stats["delta_rows"]) == \
+                {"all_fields", "title_abstract", "table"}

@@ -339,3 +339,112 @@ def test_executor_kind_defaults_to_threads():
     from repro.docstore.executor import executor_kind
     assert os.environ.get(KIND_ENV) is None
     assert executor_kind() == "thread"
+
+
+# -- delta segments and the snapshot-atomicity regression ------------------
+
+def _append_papers(engine, start, count, seed=77, title=None):
+    rng = random.Random(seed)
+    for i in range(start, start + count):
+        paper = _make_paper(rng, i)
+        if title is not None:
+            paper["title"] = title
+        engine.add_paper(paper)
+
+
+def test_append_only_mutation_extends_into_delta_segments():
+    engine = _build(AllFieldsEngine, 2, num_papers=60)
+    engine.search("covid")
+    base = engine._columnar_index()
+    assert base.delta_segments == 0
+
+    _append_papers(engine, 60, 15)
+    kernel_pages = [_page(engine.search(q)) for q in QUERIES]
+    extended = engine._columnar_index()
+
+    # Incremental, not a rebuild: same worker-cache key, base segment
+    # arrays shared, only the 15 new rows tokenized into deltas.
+    assert extended is not base
+    assert extended.key == base.key
+    assert extended.delta_segments > 0
+    assert extended.delta_rows == 15
+    assert extended.num_rows == 75
+
+    # Byte identity against the scalar path and an offline rebuild.
+    engine.use_columnar = False
+    assert [_page(engine.search(q)) for q in QUERIES] == kernel_pages
+    engine.use_columnar = True
+    offline = _build(AllFieldsEngine, 2, num_papers=60)
+    _append_papers(offline, 60, 15)
+    offline._columnar = None  # force a from-scratch build
+    assert [_page(offline.search(q)) for q in QUERIES] == kernel_pages
+
+
+def test_merge_segments_is_byte_identical_to_delta_serving():
+    engine = _build(AllFieldsEngine, 3, num_papers=50)
+    engine.search("covid")
+    _append_papers(engine, 50, 12)
+    with_deltas = [_page(engine.search(q)) for q in QUERIES]
+    assert engine.delta_rows == 12
+
+    assert engine.merge_segments() is True
+    merged = engine._columnar_index()
+    assert merged.delta_segments == 0
+    assert engine.delta_rows == 0
+    assert [_page(engine.search(q)) for q in QUERIES] == with_deltas
+    # Idempotent: nothing left to fold.
+    assert engine.merge_segments() is False
+
+
+def test_non_append_mutations_rebuild_instead_of_extending():
+    engine = _build(AllFieldsEngine, 2, num_papers=40)
+    engine.search("covid")
+    base = engine._columnar_index()
+    # A version bump without a matching document append — the
+    # lockstep heuristic must refuse to extend.
+    engine.collection.advance_version(engine.collection.version + 5)
+    engine.search("covid")
+    rebuilt = engine._columnar_index()
+    assert rebuilt is not base
+    assert rebuilt.delta_segments == 0
+
+
+def test_mutation_between_snapshot_and_kernel_serves_one_generation(
+        monkeypatch):
+    """Regression: the stamp and the arrays must be captured together.
+
+    A writer landing between the eligibility check and the kernel run
+    used to let one request mix generations (pre-mutation arrays,
+    post-mutation stamp).  The pipeline now takes one immutable
+    ``(columns, stamp)`` snapshot up front; a mutation mid-request
+    leaves the in-flight page byte-identical to the pre-mutation
+    answer.
+    """
+    engine = _build(AllFieldsEngine, 2, num_papers=40)
+    baseline = engine.search("covid")
+    real_rank = AllFieldsEngine._rank_columnar
+    fired = []
+
+    def racy_rank(self, index, spec, skip, top_k):
+        if not fired:
+            fired.append(True)
+            # The worst-case writer: lands after the snapshot was
+            # taken, before the kernel reads a single row.
+            _append_papers(self, 8000, 3, seed=5,
+                           title="covid covid covid covid")
+        return real_rank(self, index, spec, skip, top_k)
+
+    monkeypatch.setattr(AllFieldsEngine, "_rank_columnar", racy_rank)
+    racy = engine.search("covid")
+    monkeypatch.setattr(AllFieldsEngine, "_rank_columnar", real_rank)
+
+    assert fired  # the mutation really was injected mid-request
+    assert _page(racy) == _page(baseline)
+    assert racy.total_matches == baseline.total_matches
+
+    # The *next* request sees the new generation, ranked identically
+    # to the scalar path.
+    fresh = engine.search("covid")
+    assert any(hit.paper_id == "p08000" for hit in fresh.results)
+    engine.use_columnar = False
+    assert _page(engine.search("covid")) == _page(fresh)

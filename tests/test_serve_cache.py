@@ -86,3 +86,87 @@ class TestResultCache:
         cache.put(("e", ("q",)), (0,), 1)
         cache.clear()
         assert len(cache) == 0
+
+
+class TestNegativeInvalidation:
+    """Every lookup path drops a negative the moment versions move.
+
+    Regression suite for the staleness sweep: ``get`` and ``claim``
+    used to disagree about stale negatives, so a fixed document could
+    keep replaying a cached error on one engine path but not another.
+    Both now funnel through one invalidation point.
+    """
+
+    def _negative(self, cache, key, versions):
+        status, flight = cache.claim(key, versions)
+        assert status == "leader"
+        cache.fail(flight, ValueError("bad query"), negative=True,
+                   versions=versions)
+        return flight
+
+    def test_claim_replays_fresh_negative(self):
+        cache = ResultCache()
+        key = request_key("kg_query", {"query": "MATCH ("})
+        self._negative(cache, key, (1,))
+        status, exc = cache.claim(key, (1,))
+        assert status == "negative"
+        assert isinstance(exc, ValueError)
+        assert cache.stats.negative_hits == 1
+
+    def test_version_bump_unnegatives_claim_path(self):
+        cache = ResultCache()
+        key = request_key("kg_query", {"query": "MATCH ("})
+        self._negative(cache, key, (1,))
+        # The document was fixed: the ingest bumped the counters, so
+        # the next claim must recompute, not replay the stale failure.
+        status, _ = cache.claim(key, (2,))
+        assert status == "leader"
+        assert cache.stats.negative_hits == 0
+        # And the stale entry is gone even for the old snapshot.
+        status, _ = cache.claim(key, (1,))
+        assert status == "leader"
+
+    def test_version_bump_unnegatives_get_path(self):
+        cache = ResultCache()
+        key = request_key("all_fields", {"query": "covid"})
+        self._negative(cache, key, (1,))
+        hit, _ = cache.get(key, (2,))  # positive-only lookup path
+        assert not hit
+        # get() dropped the stale negative as a side effect; the claim
+        # path agrees instead of replaying it.
+        status, _ = cache.claim(key, (1,))
+        assert status == "leader"
+
+    def test_successful_put_supersedes_negative(self):
+        cache = ResultCache()
+        key = request_key("all_fields", {"query": "covid"})
+        self._negative(cache, key, (1,))
+        cache.put(key, (1,), "recovered")
+        status, value = cache.claim(key, (1,))
+        assert status == "hit"
+        assert value == "recovered"
+
+    def test_negative_stamped_with_execution_time_versions(self):
+        cache = ResultCache()
+        key = request_key("kg_query", {"query": "MATCH ("})
+        status, flight = cache.claim(key, (1,))
+        assert status == "leader"
+        # An ingest landed between claim and execution; the failure was
+        # observed at (2,).  Stamping it with the stale claim-time
+        # snapshot would make it dead on arrival.
+        cache.fail(flight, ValueError("still bad"), negative=True,
+                   versions=(2,))
+        status, _ = cache.claim(key, (2,))
+        assert status == "negative"
+        status, _ = cache.claim(key, (1,))
+        assert status == "leader"
+
+    def test_negative_expires_by_ttl(self):
+        now = [0.0]
+        cache = ResultCache(negative_ttl_seconds=5.0,
+                            clock=lambda: now[0])
+        key = request_key("kg_query", {"query": "MATCH ("})
+        self._negative(cache, key, (1,))
+        now[0] = 6.0
+        status, _ = cache.claim(key, (1,))
+        assert status == "leader"
