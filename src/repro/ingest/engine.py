@@ -183,9 +183,14 @@ class IngestEngine:
             self.wal.commit_batch(batch_id, len(validated),
                                   skip_duplicates=skip_duplicates)
             self._seq += 1
+            seq = self._seq
             snapshot = take_snapshot(
-                self.system, f"batch-{self._seq:06d}", self._seq)
+                self.system, f"batch-{seq:06d}", seq)
             self.snapshots.add(snapshot)
+            # Capture the receipt's view of the world while the write
+            # lock still excludes other commits — outside it, seq and
+            # the version counters could describe a *later* batch.
+            versions = system_versions(self.system)
         with self._state_lock:
             self._docs_since_merge += accepted
             merge_due = self._docs_since_merge >= self.merge_threshold
@@ -193,12 +198,12 @@ class IngestEngine:
             self._request_merge()
         return IngestReceipt(
             batch_id=batch_id,
-            seq=self._seq,
+            seq=seq,
             snapshot=snapshot.name,
             accepted=accepted,
             subtrees=report.subtrees,
             seconds=time.perf_counter() - started,
-            versions=system_versions(self.system),
+            versions=versions,
         )
 
     # -- rollback ---------------------------------------------------------
@@ -247,12 +252,19 @@ class IngestEngine:
         return applied
 
     def checkpoint(self, directory: str | Path) -> Path:
-        """Persist the system and truncate the now-redundant WAL."""
+        """Persist the system and truncate the now-redundant WAL.
+
+        Save and truncate happen under the data *write* lock: a commit
+        interleaving between them would be acknowledged yet present in
+        neither the checkpoint nor the WAL (lost on restart), and
+        truncation must not unlink a segment a concurrent commit is
+        appending to.
+        """
         from repro.api.persistence import save_system
 
-        with self._data_lock.read_locked():
+        with self._data_lock.write_locked():
             saved = save_system(self.system, directory)
-        self.wal.truncate()
+            self.wal.truncate()
         return saved
 
     # -- background merge -------------------------------------------------

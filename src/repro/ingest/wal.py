@@ -140,7 +140,7 @@ class WriteAheadLog:
             last = existing[-1]
             self._segment_index = int(
                 last.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
-            self._segment_bytes = last.stat().st_size
+            self._segment_bytes = self._recover_tail(last)
 
     # -- segments ---------------------------------------------------------
 
@@ -151,6 +151,24 @@ class WriteAheadLog:
             if path.name.startswith(_SEGMENT_PREFIX)
             and path.name.endswith(_SEGMENT_SUFFIX)
         )
+
+    @staticmethod
+    def _recover_tail(path: Path) -> int:
+        """Truncate a torn tail frame left by a crash; return the size.
+
+        Appending after torn bytes would hide every later frame from
+        replay (the scan stops at the first bad frame), so the garbage
+        must be cut *before* the log accepts new appends.  Only the
+        frames replay would already ignore are dropped.
+        """
+        data = path.read_bytes()
+        consumed = scan_segment(data)[1]
+        if consumed < len(data):
+            with open(path, "r+b") as handle:
+                handle.truncate(consumed)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return consumed
 
     def _segment_path(self, index: int) -> Path:
         return self.directory / (

@@ -277,6 +277,48 @@ class TestMergeAndCheckpoint:
         reloaded = load_system(tmp_path / "saved")
         assert _pages(reloaded) == reference
 
+    def test_checkpoint_concurrent_with_commits_loses_nothing(
+            self, corpus, tmp_path):
+        """Every acknowledged batch survives a restart: it lands in the
+        checkpoint or stays in the WAL, never in neither.  (checkpoint
+        must hold the write lock across save + truncate, or a commit
+        can slip between them and vanish.)"""
+        import threading
+        import time
+
+        from repro.api.persistence import load_system
+
+        system = _fresh_system(corpus[:10])
+        wal_dir = tmp_path / "ingest"
+        saved_dir = tmp_path / "saved"
+        errors = []
+        batches = [corpus[i:i + 2] for i in range(10, 50, 2)]
+
+        def _committer(engine):
+            try:
+                for batch in batches:
+                    engine.commit_batch(batch)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        with IngestEngine(system, wal_dir) as engine:
+            thread = threading.Thread(target=_committer, args=(engine,))
+            thread.start()
+            while thread.is_alive():
+                engine.checkpoint(saved_dir)
+                time.sleep(0.001)
+            thread.join()
+        assert not errors
+
+        restarted = load_system(saved_dir)
+        with IngestEngine(restarted, wal_dir) as recovered:
+            recovered.replay()
+        for paper in corpus[10:50]:
+            assert restarted.store.find_one(
+                {"paper_id": paper["paper_id"]}) is not None, (
+                f"acknowledged paper {paper['paper_id']} lost across "
+                "checkpoint + replay")
+
     def test_stats_shape(self, corpus, tmp_path):
         system = _fresh_system(corpus[:30])
         with IngestEngine(system, tmp_path) as engine:

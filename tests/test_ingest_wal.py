@@ -136,6 +136,42 @@ class TestReplay:
         assert wal.segment_paths() == []
         assert wal.replay().batches == []
 
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        """Post-crash appends must not land after torn garbage bytes —
+        replay stops at the tear, so every later fsynced batch would be
+        silently dropped."""
+        _write_batches(tmp_path, [[_paper(1)]], segment_bytes=100_000)
+        last = sorted(tmp_path.iterdir())[-1]
+        torn = encode_record({"kind": "begin", "batch": "crash"})[:-3]
+        with open(last, "ab") as handle:
+            handle.write(torn)
+        wal = WriteAheadLog(tmp_path, max_segment_bytes=100_000)
+        wal.begin_batch("after-crash")
+        wal.append_document("after-crash", _paper(2))
+        wal.commit_batch("after-crash", 1)
+        wal.close()
+        state = WriteAheadLog(tmp_path).replay()
+        assert [b.batch_id for b in state.batches] == \
+            ["batch-1", "after-crash"]
+
+    def test_reopen_after_torn_tail_with_rotation_stays_replayable(
+            self, tmp_path):
+        """A post-recovery rotation must not turn the (now truncated)
+        tear into mid-log corruption that fails the next boot."""
+        _write_batches(tmp_path, [[_paper(1)]], segment_bytes=120)
+        last = sorted(tmp_path.iterdir())[-1]
+        with open(last, "ab") as handle:
+            handle.write(b"\xff" * 9)  # garbage shorter than a frame
+        wal = WriteAheadLog(tmp_path, max_segment_bytes=120)
+        wal.begin_batch("after-crash")
+        for i in range(2, 6):
+            wal.append_document("after-crash", _paper(i))
+        wal.commit_batch("after-crash", 4)
+        wal.close()
+        state = WriteAheadLog(tmp_path).replay()
+        assert [b.batch_id for b in state.batches] == \
+            ["batch-1", "after-crash"]
+
     def test_reopen_appends_to_last_segment(self, tmp_path):
         _write_batches(tmp_path, [[_paper(1)]], segment_bytes=100_000)
         wal = WriteAheadLog(tmp_path, max_segment_bytes=100_000)
@@ -203,6 +239,30 @@ class TestCrashAfterEveryPrefix:
             seen_states.add(len(state.batches))
         # The sweep actually crossed both durability points.
         assert seen_states == {0, 1, 2}
+
+    def test_recover_and_continue_at_every_prefix(self, tmp_path):
+        """After a crash at any byte offset, the reopened log accepts a
+        new committed batch and replay sees it — torn tail bytes never
+        hide data committed after recovery."""
+        source = tmp_path / "full"
+        source.mkdir()
+        _write_batches(source, [[_paper(1)], [_paper(2)]],
+                       segment_bytes=100, commit_last=False)
+        parts = self._logical_log(source)
+        total = sum(len(data) for _, data in parts)
+        for keep in range(0, total + 1, 5):
+            crash_dir = tmp_path / f"recover-{keep}"
+            crash_dir.mkdir()
+            self._truncate_to_prefix(parts, crash_dir, keep)
+            wal = WriteAheadLog(crash_dir, max_segment_bytes=100)
+            wal.begin_batch("recovery")
+            wal.append_document("recovery", _paper(9))
+            wal.commit_batch("recovery", 1)
+            wal.close()
+            state = WriteAheadLog(crash_dir).replay()
+            ids = [b.batch_id for b in state.batches]
+            assert ids and ids[-1] == "recovery", (
+                f"prefix {keep}/{total}: recovery batch lost: {ids}")
 
     def test_prefix_with_flipped_tail_byte_never_gains_docs(self,
                                                             tmp_path):
