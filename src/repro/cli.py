@@ -29,6 +29,7 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.api.persistence import load_system, save_system
@@ -234,6 +235,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         max_request_cost=args.max_cost,
         load_control=LoadControlConfig() if args.adaptive else None,
         gateway=gateway_config,
+        shared_cache=getattr(args, "shared_cache", None),
     )
     # /v1/ingest is always live: a persistent --ingest-dir carries the
     # WAL and snapshots across restarts (committed batches are replayed
@@ -250,6 +252,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         scratch = tempfile.TemporaryDirectory(prefix="covidkg-ingest-")
         ingest_dir = scratch.name
     engine = IngestEngine(system, ingest_dir)
+    replica_id = getattr(args, "replica_id", None)
     try:
         replayed = engine.replay()
         if replayed:
@@ -257,11 +260,62 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                   f"from {ingest_dir}", flush=True)
         with QueryService(system, config) as service:
             service.attach_ingest(engine)
-            return run_gateway(service, gateway_config)
+
+            def _announce(port: int) -> None:
+                # Cluster mode: tell the coordinator (the shared cache
+                # server) where this replica's socket landed.
+                if service.shared_cache is not None and replica_id:
+                    service.shared_cache.register(
+                        replica_id, args.host, port, pid=os.getpid())
+
+            try:
+                return run_gateway(service, gateway_config,
+                                   ready=_announce)
+            finally:
+                if service.shared_cache is not None and replica_id:
+                    service.shared_cache.deregister(replica_id)
     finally:
         engine.close()
         if scratch is not None:
             scratch.cleanup()
+
+
+def _cmd_cache_server(args: argparse.Namespace) -> int:
+    """Serve the cluster's shared result cache until SIGTERM/SIGINT."""
+    import logging
+
+    from repro.cluster.cacheserver import run_cache_server
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(message)s",
+    )
+    return run_cache_server(args.host, args.port)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Boot cache server + N replicas + router; serve until SIGTERM."""
+    import logging
+
+    from repro.cluster.runner import ClusterConfig, run_cluster
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(message)s",
+    )
+    return run_cluster(ClusterConfig(
+        replicas=args.replicas,
+        host=args.host,
+        port=args.port,
+        system_dir=args.system,
+        generate=args.generate,
+        shards=args.shards,
+        seed=args.seed,
+        workers=args.workers,
+        probe_interval=args.probe_interval,
+        fail_threshold=args.fail_threshold,
+        log_dir=args.log_dir,
+    ))
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
@@ -534,7 +588,55 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for the ingest WAL + snapshots "
                               "(committed batches replay on restart; "
                               "default: a per-process temp dir)")
+    gateway.add_argument("--shared-cache", default=None,
+                         metavar="HOST:PORT",
+                         help="address of a cluster shared result "
+                              "cache (repro-covidkg cache-server)")
+    gateway.add_argument("--replica-id", default=None,
+                         help="register under this id with the cluster "
+                              "coordinator once the socket is bound")
     gateway.set_defaults(func=_cmd_gateway)
+
+    cache_server = sub.add_parser(
+        "cache-server",
+        help="serve the cluster's shared result cache + replica "
+             "coordinator on one TCP port",
+    )
+    cache_server.add_argument("--host", default="127.0.0.1")
+    cache_server.add_argument("--port", type=int, default=8200,
+                              help="0 binds an ephemeral port")
+    cache_server.set_defaults(func=_cmd_cache_server)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="boot a full serving cluster: shared cache + N gateway "
+             "replicas + consistent-hash router on one port",
+    )
+    cluster.add_argument("--replicas", type=int, default=2)
+    cluster.add_argument("--system", default=None,
+                         help="saved system directory every replica "
+                              "serves (omit to generate one synthetic "
+                              "corpus shared by all replicas)")
+    cluster.add_argument("--generate", type=int, default=60,
+                         help="synthetic papers to build when no "
+                              "--system is given")
+    cluster.add_argument("--shards", type=int, default=4)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=8080,
+                         help="router (client-facing) port; 0 binds an "
+                              "ephemeral one")
+    cluster.add_argument("--workers", type=int, default=4,
+                         help="worker threads per replica")
+    cluster.add_argument("--probe-interval", type=float, default=0.25,
+                         help="seconds between replica health probes")
+    cluster.add_argument("--fail-threshold", type=int, default=3,
+                         help="consecutive failed probes before a "
+                              "replica is ejected from the ring")
+    cluster.add_argument("--log-dir", default=None,
+                         help="directory for per-replica logs "
+                              "(default: a per-cluster temp dir)")
+    cluster.set_defaults(func=_cmd_cluster)
 
     ingest = sub.add_parser(
         "ingest",

@@ -1,0 +1,136 @@
+"""Consistent-hash routing: the same request keeps hitting the same L1.
+
+A classic consistent-hash ring (Karger et al.): every replica owns
+``vnodes`` points on a 64-bit circle; a request key hashes to a point
+and walks clockwise to the first replica.  Properties the router needs:
+
+* **affinity** — the same normalized request always lands on the same
+  replica, so that replica's in-process L1 stays warm for it;
+* **minimal disruption** — ejecting a replica re-spreads only *its*
+  hash arcs over the survivors (~1/N of keys move), instead of
+  reshuffling every assignment the way ``hash(key) % N`` would;
+* **failover order** — continuing the clockwise walk past the first
+  owner yields a deterministic preference list, so a request whose
+  primary just died retries on a stable secondary (which will also be
+  the key's new primary after ejection — its L1 warms once, not per
+  retry).
+
+Hashing is :func:`hashlib.blake2b` (stable across processes and runs —
+``hash()`` is salted per process and useless for routing).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+#: Points each replica owns on the ring.  More vnodes → smoother key
+#: spread between replicas (stddev ~ 1/sqrt(vnodes)) at O(vnodes·N)
+#: ring-build cost; 64 keeps imbalance under ~15% for small clusters.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(data: bytes) -> int:
+    """64-bit process-stable hash of ``data``."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """An immutable-ish consistent-hash ring over replica ids.
+
+    >>> ring = HashRing(["r0", "r1", "r2"])
+    >>> ring.route(b"query: vaccines") in {"r0", "r1", "r2"}
+    True
+    >>> ring.route(b"query: vaccines") == ring.route(b"query: vaccines")
+    True
+    """
+
+    def __init__(self, replica_ids: Iterable[str] = (),
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._replicas: set[str] = set()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for replica_id in replica_ids:
+            self.add(replica_id)
+
+    # -- membership -------------------------------------------------------
+
+    def add(self, replica_id: str) -> None:
+        if replica_id in self._replicas:
+            return
+        self._replicas.add(replica_id)
+        self._rebuild()
+
+    def remove(self, replica_id: str) -> None:
+        if replica_id not in self._replicas:
+            return
+        self._replicas.discard(replica_id)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        points: list[tuple[int, str]] = []
+        for replica_id in self._replicas:
+            seed = replica_id.encode("utf-8")
+            for vnode in range(self.vnodes):
+                points.append((
+                    stable_hash(seed + b"#" + str(vnode).encode()),
+                    replica_id,
+                ))
+        # Ties (astronomically unlikely) break on replica id so every
+        # process builds the identical ring.
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    @property
+    def replicas(self) -> set[str]:
+        return set(self._replicas)
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __contains__(self, replica_id: str) -> bool:
+        return replica_id in self._replicas
+
+    # -- routing ----------------------------------------------------------
+
+    def route(self, key: bytes) -> str | None:
+        """The replica owning ``key``, or ``None`` on an empty ring."""
+        preference = self.preference(key, 1)
+        return preference[0] if preference else None
+
+    def preference(self, key: bytes, count: int | None = None
+                   ) -> list[str]:
+        """The first ``count`` distinct replicas clockwise from ``key``.
+
+        ``None`` returns every replica — the router's failover order.
+        """
+        if not self._points:
+            return []
+        want = len(self._replicas) if count is None else \
+            min(count, len(self._replicas))
+        start = bisect.bisect(self._points, stable_hash(key))
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for step in range(len(self._owners)):
+            owner = self._owners[(start + step) % len(self._owners)]
+            if owner not in seen:
+                seen.add(owner)
+                ordered.append(owner)
+                if len(ordered) == want:
+                    break
+        return ordered
+
+    def spread(self, keys: Iterable[bytes]) -> dict[str, int]:
+        """Keys-per-replica histogram (balance diagnostics/tests)."""
+        counts = {replica_id: 0 for replica_id in self._replicas}
+        for key in keys:
+            owner = self.route(key)
+            if owner is not None:
+                counts[owner] += 1
+        return counts

@@ -1,0 +1,612 @@
+"""The cluster front end: one port, N replicas, cache-affine routing.
+
+The router owns the client-facing socket and forwards every request to
+a replica gateway picked off a consistent-hash ring
+(:class:`~repro.cluster.ring.HashRing`) keyed by the normalized request
+target — so the same search lands on the same replica and its
+in-process L1 stays warm.  Three request classes:
+
+* **reads** (``GET``/``HEAD``, queries over ``POST``) walk the key's
+  preference list: a replica that fails at the transport level is
+  marked unreachable, dropped from the ring, and the request retries on
+  the next replica — the client sees one answer, never a
+  ``ConnectionError``;
+* **writes** (``POST /v1/ingest``) fan out to *every* in-ring replica
+  (write-all/read-any): the batch commits everywhere or the replica
+  that missed it is ejected as **diverged** — it can never re-enter the
+  ring, because its corpus now disagrees with the cluster's;
+* **router-local** endpoints (``/v1/healthz``, ``/v1/cluster``) answer
+  from the router itself with cluster topology and per-replica state.
+
+A background probe thread polls each replica's ``/v1/healthz``:
+``fail_threshold`` consecutive transport failures eject it (its hash
+arcs re-spread over the survivors); a ``draining`` reply (SIGTERM
+shutdown) removes it gracefully without the ejection stigma; a replica
+reporting WAL ``replaying`` is kept out of the ring until recovery
+finishes; a previously unreachable — but not diverged — replica that
+answers again rejoins automatically.
+
+Threading: accept loop + thread per client connection + one probe
+thread, all blocking (the router holds no index data and does no
+computation — it is pure I/O plumbing).  Backend connections are owned
+per connection thread, so no socket is ever shared or used under a
+lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import os
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Any
+from urllib.parse import urlencode
+
+from repro.analysis import racecheck
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.errors import BadRequestError
+from repro.gateway.client import ClientResponse, GatewayClient
+from repro.gateway.http import (
+    HEAD_TERMINATOR,
+    Request,
+    Response,
+    build_response,
+    parse_request_head,
+)
+
+logger = logging.getLogger("repro.cluster.router")
+
+#: Paths the router answers itself rather than forwarding.
+_LOCAL_PATHS = ("/v1/healthz", "/v1/cluster")
+
+#: Hop-by-hop / recomputed headers never forwarded to a replica.
+_HOP_HEADERS = frozenset({"connection", "host", "content-length"})
+
+
+@dataclass
+class ReplicaSpec:
+    """Where one replica gateway listens."""
+
+    replica_id: str
+    host: str
+    port: int
+    pid: int = 0
+
+
+@dataclass
+class RouterConfig:
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Seconds between health-probe sweeps.
+    probe_interval: float = 0.25
+    probe_timeout: float = 1.0
+    #: Consecutive failed probes before a replica is ejected.
+    fail_threshold: int = 3
+    vnodes: int = DEFAULT_VNODES
+    forward_timeout: float = 30.0
+    max_header_bytes: int = 16384
+    idle_timeout_seconds: float = 30.0
+
+
+class _ReplicaState:
+    """Mutable per-replica bookkeeping (guarded by the router lock)."""
+
+    def __init__(self, spec: ReplicaSpec) -> None:
+        self.spec = spec
+        self.failures = 0
+        self.in_ring = False
+        self.draining = False
+        self.replaying = False
+        self.diverged = False
+        self.ejected = False
+        self.versions: dict[str, int] | None = None
+        self.last_error = ""
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "replica_id": self.spec.replica_id,
+            "host": self.spec.host,
+            "port": self.spec.port,
+            "pid": self.spec.pid,
+            "in_ring": self.in_ring,
+            "draining": self.draining,
+            "replaying": self.replaying,
+            "diverged": self.diverged,
+            "ejected": self.ejected,
+            "failures": self.failures,
+            "versions": self.versions,
+            "last_error": self.last_error,
+        }
+
+
+class Router:
+    """Serve one routed port in front of N replica gateways.
+
+    >>> # doctest-style sketch; tests boot real replicas behind it
+    >>> Router([ReplicaSpec("r0", "127.0.0.1", 8101)])  # doctest: +ELLIPSIS
+    <repro.cluster.router.Router object at ...>
+    """
+
+    def __init__(self, replicas: list[ReplicaSpec],
+                 config: RouterConfig | None = None) -> None:
+        self.config = config or RouterConfig()
+        self._lock = racecheck.make_lock("cluster.router")
+        self._states: dict[str, _ReplicaState] = {}
+        self._ring = HashRing(vnodes=self.config.vnodes)
+        self._sock: socket.socket | None = None
+        self.port: int | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._probe_thread: threading.Thread | None = None
+        self._conn_threads: set[threading.Thread] = set()
+        self._conns: set[socket.socket] = set()
+        self._closed = threading.Event()
+        self._ids = itertools.count(1)
+        self.stats = {
+            "requests": 0, "forwarded": 0, "failovers": 0,
+            "writes": 0, "write_fanouts": 0, "ejections": 0,
+            "rejoins": 0, "unroutable": 0, "probe_sweeps": 0,
+        }
+        for spec in replicas:
+            self.add_replica(spec)
+
+    # -- membership --------------------------------------------------------
+
+    def add_replica(self, spec: ReplicaSpec) -> None:
+        """Admit a replica optimistically; probes confirm or eject it."""
+        with self._lock:
+            state = self._states.get(spec.replica_id)
+            if state is not None and state.diverged:
+                return  # a diverged replica can never come back
+            self._states[spec.replica_id] = _ReplicaState(spec)
+            self._states[spec.replica_id].in_ring = True
+            self._ring.add(spec.replica_id)
+
+    def _eject(self, replica_id: str, reason: str, *,
+               diverged: bool = False) -> None:
+        with self._lock:
+            state = self._states.get(replica_id)
+            if state is None:
+                return
+            state.last_error = reason
+            state.diverged = state.diverged or diverged
+            if not state.in_ring:
+                return
+            state.in_ring = False
+            state.ejected = True
+            self._ring.remove(replica_id)
+            self.stats["ejections"] += 1
+            survivors = len(self._ring)
+        logger.warning("ejected replica %s (%s); %d replica(s) remain",
+                       replica_id, reason, survivors)
+
+    def _rejoin(self, replica_id: str) -> None:
+        with self._lock:
+            state = self._states.get(replica_id)
+            if state is None or state.in_ring or state.diverged or \
+                    state.draining or state.replaying:
+                return
+            state.in_ring = True
+            state.ejected = False
+            state.failures = 0
+            self._ring.add(replica_id)
+            self.stats["rejoins"] += 1
+        logger.info("replica %s rejoined the ring", replica_id)
+
+    def _mark_unreachable(self, replica_id: str, error: str) -> None:
+        """A forwarding attempt hit a transport error: drop it now.
+
+        The probe loop re-admits the replica if it was a blip; a
+        SIGKILLed process stays out.  Dropping immediately (instead of
+        waiting ``fail_threshold`` probes) keeps later requests from
+        re-discovering the corpse one timeout at a time.
+        """
+        self._eject(replica_id, f"unreachable while forwarding: {error}")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Router":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self.config.host, self.config.port))
+            sock.listen(128)
+        except OSError:
+            sock.close()
+            raise
+        self._sock = sock
+        self.port = sock.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="router-accept", daemon=True)
+        self._accept_thread.start()
+        self._probe_thread = threading.Thread(
+            target=self._probe_loop, name="router-probe", daemon=True)
+        self._probe_thread.start()
+        logger.info("router listening on %s:%d",
+                    self.config.host, self.port)
+        return self
+
+    def stop(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._sock is not None:
+            # shutdown() wakes the thread blocked in accept(); close()
+            # alone leaves it parked (and the LISTEN socket alive) on
+            # Linux.
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        # Unblock connection threads parked in recv() so stop() never
+        # waits out the idle timeout.
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        for thread in (self._accept_thread, self._probe_thread):
+            if thread is not None:
+                thread.join(timeout=5.0)
+        for thread in list(self._conn_threads):
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Router":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- health probing ----------------------------------------------------
+
+    def _probe_loop(self) -> None:
+        clients: dict[str, GatewayClient] = {}
+        try:
+            while not self._closed.wait(self.config.probe_interval):
+                with self._lock:
+                    specs = [state.spec
+                             for state in self._states.values()
+                             if not state.diverged]
+                    self.stats["probe_sweeps"] += 1
+                for spec in specs:
+                    self._probe_one(spec, clients)
+        finally:
+            for client in clients.values():
+                client.close()
+
+    def _probe_one(self, spec: ReplicaSpec,
+                   clients: dict[str, GatewayClient]) -> None:
+        client = clients.get(spec.replica_id)
+        if client is None:
+            client = GatewayClient(spec.host, spec.port,
+                                   timeout=self.config.probe_timeout,
+                                   reconnect_wait=0.0)
+            clients[spec.replica_id] = client
+        try:
+            response = client.healthz()
+            payload = response.json()
+        except Exception as exc:  # noqa: BLE001 - any probe failure counts
+            client.close()
+            with self._lock:
+                state = self._states.get(spec.replica_id)
+                if state is None:
+                    return
+                state.failures += 1
+                state.last_error = f"probe: {exc}"
+                failures = state.failures
+                in_ring = state.in_ring
+            if in_ring and failures >= self.config.fail_threshold:
+                self._eject(spec.replica_id,
+                            f"{failures} consecutive probe failures")
+            return
+        # Any non-200 from a live process means "alive but not taking
+        # traffic": an explicit draining healthz, or the connection-shed
+        # 503 a draining/overloaded gateway answers new sockets with.
+        # Hold it out of the ring without the ejection stigma — it
+        # rejoins the moment probes see 200 again.
+        draining = response.status != 200
+        replaying = bool(payload.get("ingest", {}).get("replaying"))
+        with self._lock:
+            state = self._states.get(spec.replica_id)
+            if state is None:
+                return
+            state.failures = 0
+            state.draining = draining
+            state.replaying = replaying
+            versions = payload.get("versions")
+            if isinstance(versions, dict):
+                state.versions = versions
+            should_hold_out = draining or replaying
+            in_ring = state.in_ring
+            if should_hold_out and in_ring:
+                state.in_ring = False
+                self._ring.remove(spec.replica_id)
+        if draining and in_ring:
+            logger.info("replica %s draining; removed from ring",
+                        spec.replica_id)
+        elif replaying and in_ring:
+            logger.info("replica %s replaying its WAL; held out of ring",
+                        spec.replica_id)
+        elif not in_ring and not draining and not replaying:
+            self._rejoin(spec.replica_id)
+
+    # -- request plumbing --------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            if self._closed.is_set():
+                conn.close()
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="router-conn", daemon=True)
+            self._conn_threads.add(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        backends: dict[str, GatewayClient] = {}
+        buffer = b""
+        with self._lock:
+            self._conns.add(conn)
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn.settimeout(self.config.idle_timeout_seconds)
+            while not self._closed.is_set():
+                try:
+                    request, buffer = self._read_request(conn, buffer)
+                except (ConnectionError, OSError):
+                    return
+                except BadRequestError as exc:
+                    self._write_response(conn, Response(
+                        status=400,
+                        payload={"error": {"code": "bad_request",
+                                           "message": str(exc)}},
+                        close=True), keep_alive=False)
+                    return
+                if request is None:
+                    return  # clean EOF between requests
+                response = self._handle(request, backends)
+                keep_alive = request.keep_alive and not response.close
+                try:
+                    self._write_response(
+                        conn, response, keep_alive=keep_alive,
+                        head_only=request.method == "HEAD")
+                except (ConnectionError, OSError):
+                    return
+                if not keep_alive:
+                    return
+        finally:
+            conn.close()
+            with self._lock:
+                self._conns.discard(conn)
+            for client in backends.values():
+                client.close()
+            self._conn_threads.discard(threading.current_thread())
+
+    def _read_request(self, conn: socket.socket, buffer: bytes
+                      ) -> tuple[Request | None, bytes]:
+        while HEAD_TERMINATOR not in buffer:
+            chunk = conn.recv(65536)
+            if not chunk:
+                if buffer:
+                    raise BadRequestError("truncated request head")
+                return None, b""
+            buffer += chunk
+            # Only the head is size-capped here; a body that arrived in
+            # the same recv as its head is fine (it is length-checked
+            # against Content-Length below).
+            if HEAD_TERMINATOR not in buffer and \
+                    len(buffer) > self.config.max_header_bytes + 4096:
+                raise BadRequestError("request head too large")
+        head, _, buffer = buffer.partition(HEAD_TERMINATOR)
+        request = parse_request_head(
+            head + HEAD_TERMINATOR,
+            max_header_bytes=self.config.max_header_bytes)
+        length = request.content_length
+        while len(buffer) < length:
+            chunk = conn.recv(65536)
+            if not chunk:
+                raise BadRequestError("truncated request body")
+            buffer += chunk
+        request.body, buffer = buffer[:length], buffer[length:]
+        return request, buffer
+
+    def _write_response(self, conn: socket.socket, response: Response,
+                        *, keep_alive: bool,
+                        head_only: bool = False) -> None:
+        conn.sendall(build_response(
+            response, request_id=f"router-{next(self._ids):06x}",
+            keep_alive=keep_alive, head_only=head_only))
+
+    # -- routing -----------------------------------------------------------
+
+    @staticmethod
+    def routing_key(request: Request) -> bytes:
+        """The affinity key: path + sorted query parameters.
+
+        Sorting makes ``?a=1&b=2`` and ``?b=2&a=1`` the same key, which
+        is the same normalization the replica's cache key performs — so
+        ring affinity and L1 residency agree.
+        """
+        query = urlencode(sorted(request.params.items()))
+        return f"{request.path}?{query}".encode("utf-8")
+
+    def _handle(self, request: Request,
+                backends: dict[str, GatewayClient]) -> Response:
+        with self._lock:
+            self.stats["requests"] += 1
+        if request.path in _LOCAL_PATHS:
+            return self._local(request)
+        if request.method == "POST" and request.path == "/v1/ingest":
+            return self._forward_write(request, backends)
+        return self._forward_read(request, backends)
+
+    def _backend(self, backends: dict[str, GatewayClient],
+                 spec: ReplicaSpec) -> GatewayClient:
+        client = backends.get(spec.replica_id)
+        if client is None:
+            # reconnect_wait=0: a dead replica should fail over to the
+            # next one immediately, not be re-dialled for a second.
+            client = GatewayClient(spec.host, spec.port,
+                                   timeout=self.config.forward_timeout,
+                                   reconnect_wait=0.0)
+            backends[spec.replica_id] = client
+        return client
+
+    @staticmethod
+    def _forward_headers(request: Request) -> dict[str, str]:
+        return {name: value for name, value in request.headers.items()
+                if name not in _HOP_HEADERS}
+
+    @staticmethod
+    def _to_response(upstream: ClientResponse) -> Response:
+        return Response(
+            status=upstream.status,
+            text=upstream.body.decode("utf-8", "replace"),
+            content_type=upstream.headers.get(
+                "content-type", "application/json"),
+            headers={"X-Replica-Request-Id": upstream.request_id},
+        )
+
+    def _forward_read(self, request: Request,
+                      backends: dict[str, GatewayClient]) -> Response:
+        key = self.routing_key(request)
+        with self._lock:
+            preference = self._ring.preference(key)
+            specs = [self._states[replica_id].spec
+                     for replica_id in preference
+                     if replica_id in self._states]
+        for spec in specs:
+            client = self._backend(backends, spec)
+            try:
+                upstream = client.request(
+                    request.method, request.path, params=request.params,
+                    headers=self._forward_headers(request),
+                    body=request.body)
+            except (ConnectionError, OSError) as exc:
+                self._mark_unreachable(spec.replica_id, str(exc))
+                with self._lock:
+                    self.stats["failovers"] += 1
+                continue
+            with self._lock:
+                self.stats["forwarded"] += 1
+            response = self._to_response(upstream)
+            response.headers["X-Replica"] = spec.replica_id
+            return response
+        with self._lock:
+            self.stats["unroutable"] += 1
+        return Response(status=503, payload={"error": {
+            "code": "no_replicas",
+            "message": "no healthy replica could serve the request",
+        }}, headers={"Retry-After": "1"})
+
+    def _forward_write(self, request: Request,
+                       backends: dict[str, GatewayClient]) -> Response:
+        """Write-all fan-out: every in-ring replica applies the batch.
+
+        A replica that fails at the transport level mid-write has
+        diverged — whether or not it committed, the router can no longer
+        prove its corpus matches the others', so it is ejected for
+        good.  The client's write succeeds as long as one replica
+        answered; per-replica HTTP errors (e.g. duplicate batches) are
+        deterministic and identical across replicas, so the first
+        response speaks for all of them.
+        """
+        with self._lock:
+            self.stats["writes"] += 1
+            specs = sorted(
+                (state.spec for state in self._states.values()
+                 if state.in_ring),
+                key=lambda spec: spec.replica_id)
+        first: Response | None = None
+        reached = 0
+        for spec in specs:
+            client = self._backend(backends, spec)
+            try:
+                upstream = client.request(
+                    "POST", request.path, params=request.params,
+                    headers=self._forward_headers(request),
+                    body=request.body)
+            except (ConnectionError, OSError) as exc:
+                self._eject(spec.replica_id,
+                            f"missed a write: {exc}", diverged=True)
+                continue
+            reached += 1
+            with self._lock:
+                self.stats["write_fanouts"] += 1
+            if first is None:
+                first = self._to_response(upstream)
+                first.headers["X-Replica"] = spec.replica_id
+        if first is None:
+            with self._lock:
+                self.stats["unroutable"] += 1
+            return Response(status=503, payload={"error": {
+                "code": "no_replicas",
+                "message": "no healthy replica accepted the write",
+            }}, headers={"Retry-After": "1"})
+        first.headers["X-Cluster-Write-Replicas"] = str(reached)
+        return first
+
+    # -- router-local endpoints -------------------------------------------
+
+    def _local(self, request: Request) -> Response:
+        if request.path == "/v1/healthz":
+            snapshot = self.cluster_snapshot()
+            status = 200 if snapshot["in_ring"] else 503
+            return Response(status=status, payload={
+                "status": "ok" if snapshot["in_ring"] else "no_replicas",
+                "role": "router",
+                "replicas": snapshot["in_ring"],
+            })
+        return Response(payload=self.cluster_snapshot())
+
+    def cluster_snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            states = [state.snapshot()
+                      for state in self._states.values()]
+            stats = dict(self.stats)
+            in_ring = len(self._ring)
+        states.sort(key=lambda state: state["replica_id"])
+        return {
+            "role": "router",
+            "pid": os.getpid(),
+            "in_ring": in_ring,
+            "replicas": states,
+            "stats": stats,
+        }
+
+
+def run_router(replicas: list[ReplicaSpec],
+               config: RouterConfig | None = None) -> int:
+    """Blocking CLI entry point: route until SIGTERM/SIGINT."""
+    import signal
+
+    router = Router(replicas, config).start()
+    stop = threading.Event()
+
+    def _signalled(signum: int, frame: Any) -> None:
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _signalled)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    print(f"router listening on "
+          f"http://{router.config.host}:{router.port}", flush=True)
+    stop.wait()
+    router.stop()
+    print("router stopped", flush=True)
+    return 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 from urllib.parse import urlencode, urlsplit
@@ -20,6 +21,11 @@ from repro.errors import GatewayError
 
 #: Bytes read per socket recv while parsing a response.
 _CHUNK = 65536
+
+#: Methods safe to replay on a fresh connection when a keep-alive
+#: socket dies mid-request.  POST is deliberately absent: an ingest the
+#: server committed before the connection broke would commit twice.
+_IDEMPOTENT = frozenset({"GET", "HEAD"})
 
 
 @dataclass
@@ -55,10 +61,17 @@ class GatewayClient:
     """
 
     def __init__(self, host: str, port: int,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 reconnect_wait: float = 1.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: How long a stale-socket retry keeps re-dialling before the
+        #: error surfaces.  A restarting replica closes every keep-alive
+        #: connection and refuses new ones for a beat; this window turns
+        #: that into one transparently retried request instead of a raw
+        #: ``ConnectionError``.
+        self.reconnect_wait = reconnect_wait
         self._sock: socket.socket | None = None
         self._buffer = b""
         #: Connections established so far (1 after the first request;
@@ -114,8 +127,14 @@ class GatewayClient:
         """One request/response round trip on the persistent connection.
 
         A keep-alive socket the server has since closed (idle timeout,
-        drain) surfaces as a send/recv error on the *next* request;
-        ``retry_on_stale`` transparently reconnects once in that case.
+        drain, replica restart) surfaces as a send/recv error on the
+        *next* request; for idempotent methods ``retry_on_stale``
+        transparently replays the request on a fresh connection,
+        re-dialling for up to ``reconnect_wait`` so a replica bouncing
+        between the two attempts still answers.  Non-idempotent methods
+        (POST) always surface the error — the server may have applied
+        the request before the connection died, and replaying it would
+        apply it twice.
         """
         target = path
         if params:
@@ -135,9 +154,23 @@ class GatewayClient:
             return self._round_trip(raw, head_only=head_only)
         except (ConnectionError, BrokenPipeError, OSError):
             self.close()
-            if fresh or not retry_on_stale:
+            if fresh or not retry_on_stale or \
+                    method.upper() not in _IDEMPOTENT:
                 raise
-            return self._round_trip(raw, head_only=head_only)
+            return self._retry_fresh(raw, head_only=head_only)
+
+    def _retry_fresh(self, raw: bytes,
+                     head_only: bool = False) -> ClientResponse:
+        """Replay ``raw`` on a fresh connection, riding out a restart."""
+        deadline = time.monotonic() + self.reconnect_wait
+        while True:
+            try:
+                return self._round_trip(raw, head_only=head_only)
+            except (ConnectionError, BrokenPipeError, OSError):
+                self.close()
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
 
     def get(self, path: str,
             params: Mapping[str, Any] | None = None,

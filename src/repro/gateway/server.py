@@ -426,7 +426,11 @@ class Gateway:
                 return Response(status=503,
                                 payload={"status": "draining"},
                                 close=True)
-            return Response(payload={"status": "ok"})
+            # Cheap lock-free attribute reads (QueryService.health) —
+            # this runs on the event loop and the cluster router probes
+            # it continuously, so it must never wait on the data lock.
+            return Response(payload={"status": "ok",
+                                     **self.service.health()})
         if endpoint.name == "stats":
             return Response(payload={
                 "gateway": self.metrics.snapshot(),

@@ -103,6 +103,8 @@ class IngestEngine:
         self._state_lock = racecheck.make_lock("ingest.engine")
         self._docs_since_merge = 0
         self._merges = 0
+        self._replaying = False
+        self._replayed_batches = 0
         self._closed = False
         self._merge_wakeup = threading.Event()
         self._merge_thread: threading.Thread | None = None
@@ -235,21 +237,41 @@ class IngestEngine:
         are skipped entirely; logged rollbacks are honoured.  Returns
         the number of batches applied.
         """
+        with self._state_lock:
+            self._replaying = True
         state = self.wal.replay()
         applied = 0
-        with self._data_lock.write_locked():
-            for batch in state.batches:
-                self.system.ingest(batch.papers,
-                                   skip_duplicates=batch.skip_duplicates)
-                self._seq += 1
-                self.snapshots.add(take_snapshot(
-                    self.system, f"batch-{self._seq:06d}", self._seq))
-                applied += 1
-            if applied:
-                # New batch ids continue past the replayed ones so one
-                # WAL never carries two batches with the same id.
-                self._ids = itertools.count(self._seq + 1)
+        try:
+            with self._data_lock.write_locked():
+                for batch in state.batches:
+                    self.system.ingest(
+                        batch.papers,
+                        skip_duplicates=batch.skip_duplicates)
+                    self._seq += 1
+                    self.snapshots.add(take_snapshot(
+                        self.system, f"batch-{self._seq:06d}", self._seq))
+                    applied += 1
+                if applied:
+                    # New batch ids continue past the replayed ones so
+                    # one WAL never carries two batches with the same
+                    # id.
+                    self._ids = itertools.count(self._seq + 1)
+        finally:
+            with self._state_lock:
+                self._replaying = False
+                self._replayed_batches += applied
         return applied
+
+    def replay_status(self) -> dict[str, Any]:
+        """WAL recovery progress, as ``/v1/healthz`` reports it.
+
+        A cluster router keeps a replica whose ``replaying`` is true out
+        of the ring — it is still re-applying committed batches and
+        would serve a stale corpus.
+        """
+        with self._state_lock:
+            return {"replaying": self._replaying,
+                    "replayed_batches": self._replayed_batches}
 
     def checkpoint(self, directory: str | Path) -> Path:
         """Persist the system and truncate the now-redundant WAL.

@@ -129,6 +129,15 @@ class ServeConfig:
     #: when this service is exposed over the network.  ``None`` uses
     #: the gateway defaults; the in-process tier ignores it entirely.
     gateway: GatewayConfig | None = None
+    #: ``host:port`` of a :class:`repro.cluster.SharedCacheServer` this
+    #: replica should use as a cross-process L2 behind its in-process
+    #: result cache.  ``None`` (the default) keeps the cache purely
+    #: in-process.  The L2 is consulted only by leader misses, on
+    #: worker threads, and every cache failure degrades to a miss —
+    #: the shared tier can never take the replica down.
+    shared_cache: str | None = None
+    #: Socket timeout for shared-cache round trips.
+    shared_cache_timeout: float = 2.0
 
 
 @dataclass
@@ -146,6 +155,10 @@ class ServedResult:
     seconds: float
     versions: tuple[int, ...] = field(default_factory=tuple)
     collapsed: bool = False
+    #: The answer came from the cluster's shared cross-process cache
+    #: (an L2 hit published by another replica), not this process's L1
+    #: and not a local computation.
+    shared: bool = False
 
 
 class QueryService:
@@ -177,6 +190,19 @@ class QueryService:
         self.loadctl: LoadController | None = None
         if self.config.load_control is not None:
             self.loadctl = LoadController(self.config.load_control)
+        self.shared_cache: Any = None
+        if self.config.shared_cache:
+            # Imported lazily: the serving tier must not drag the
+            # cluster package (and through it the gateway) into every
+            # in-process deployment.
+            from repro.cluster.cacheclient import (  # noqa: PLC0415
+                SharedCacheClient,
+            )
+
+            self.shared_cache = SharedCacheClient(
+                self.config.shared_cache,
+                timeout=self.config.shared_cache_timeout,
+            )
         self._pool = WorkerPool(
             num_workers=self.config.num_workers,
             max_queue=self.config.max_queue,
@@ -376,8 +402,10 @@ class QueryService:
         if self._closed:
             raise ServiceClosedError("service is closed")
         with self._data_lock.write_locked():
-            return self.system.ingest(papers,
-                                      skip_duplicates=skip_duplicates)
+            report = self.system.ingest(papers,
+                                        skip_duplicates=skip_duplicates)
+        self.broadcast_versions()
+        return report
 
     def attach_ingest(self, engine: Any) -> "QueryService":
         """Adopt an :class:`~repro.ingest.engine.IngestEngine`.
@@ -448,15 +476,69 @@ class QueryService:
         if engine is not None:
             receipt = engine.commit_batch(
                 papers, skip_duplicates=skip_duplicates)
+            self.broadcast_versions()
             return receipt.to_json()
         with self._data_lock.write_locked():
             report = self.system.ingest(papers,
                                         skip_duplicates=skip_duplicates)
+        self.broadcast_versions()
         return {
             "accepted": len(papers),
             "subtrees": report.subtrees,
             "versions": {"store": self.system.store.version,
                          "kg": self.system.graph.version},
+        }
+
+    def broadcast_versions(self) -> None:
+        """Version-counter broadcast after an ingest commit/rollback.
+
+        Announces every engine's current data-version snapshot to the
+        cluster's shared cache, which eagerly purges entries stamped
+        with a different snapshot.  Pure optimization: the shared
+        cache's GET path re-checks version equality on every lookup, so
+        correctness never depends on a broadcast arriving.
+        """
+        shared = self.shared_cache
+        if shared is None:
+            return
+        for engine in ENGINES:
+            shared.invalidate(engine, self._versions(engine))
+
+    def health(self) -> dict[str, Any]:
+        """The readiness payload ``/v1/healthz`` reports.
+
+        Deliberately cheap (attribute reads and O(1) lock snapshots, no
+        histograms) — the gateway answers it on the event loop, and the
+        cluster router probes it every few hundred milliseconds.  The
+        router uses ``versions`` to spot a replica serving stale data
+        and ``ingest.replaying`` to keep a still-recovering replica out
+        of the ring.
+        """
+        system = self.system
+        ingest: dict[str, Any] = {
+            "attached": self.ingest_engine is not None,
+            "pending": self._ingest_pool.pending,
+        }
+        if self.ingest_engine is not None:
+            ingest.update(self.ingest_engine.replay_status())
+        else:
+            ingest.update({"replaying": False, "replayed_batches": 0})
+        return {
+            "versions": {
+                "store": system.store.version,
+                "kg": system.graph.version,
+                "all_fields": system.all_fields.collection.version,
+                "title_abstract":
+                    system.title_abstract.collection.version,
+                "table": system.tables.collection.version,
+            },
+            "ingest": ingest,
+            "admission": {
+                "effective_width": (self.loadctl.effective_width()
+                                    if self.loadctl is not None
+                                    else executor_width()),
+                "pending": self._pool.pending,
+            },
         }
 
     def stats(self) -> dict[str, Any]:
@@ -469,6 +551,9 @@ class QueryService:
             "ttl_seconds": self.cache.ttl_seconds,
             "negative_ttl_seconds": self.cache.negative_ttl_seconds,
             "inflight": self.cache.inflight,
+            "shared": (self.shared_cache.stats_snapshot()
+                       if self.shared_cache is not None
+                       else {"enabled": False}),
         }
         snapshot["admission"] = {
             "workers": self._pool.num_workers,
@@ -504,6 +589,8 @@ class QueryService:
             remove_fanout_observer(self.loadctl.observe_fanout)
         self._pool.shutdown(wait=wait)
         self._ingest_pool.shutdown(wait=wait)
+        if self.shared_cache is not None:
+            self.shared_cache.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -587,6 +674,25 @@ class QueryService:
         runner = self._dispatch[engine]
         budget = None if self.loadctl is None else self.loadctl.budget()
         versions = flight.versions
+        shared = self.shared_cache
+        if shared is not None:
+            # L2 lookup — on this worker thread, never on the event
+            # loop, and never under the data lock (the versions
+            # snapshot is read under a brief read-lock, the socket
+            # round trip happens outside it).  A hit published by
+            # another replica skips the whole pipeline; any cache
+            # failure is a miss and the compute path below proceeds.
+            with self._data_lock.read_locked():
+                versions = self._versions(engine)
+            hit, value = shared.get(engine, key, versions)
+            if hit:
+                self.cache.complete(flight, versions, value)
+                seconds = time.monotonic() - started
+                self.metrics.record_latency(engine, seconds)
+                return ServedResult(
+                    engine=engine, value=value, cached=True,
+                    seconds=seconds, versions=versions, shared=True,
+                )
         try:
             with self._data_lock.read_locked(), budget_scope(budget):
                 versions = self._versions(engine)
@@ -610,6 +716,10 @@ class QueryService:
             self.metrics.record_error(engine)
             raise
         self.cache.complete(flight, versions, value)
+        if shared is not None:
+            # Write-through: publish the freshly computed page so the
+            # other replicas' leader misses become one-round-trip hits.
+            shared.put(engine, key, versions, value)
         seconds = time.monotonic() - started
         self.metrics.record_latency(engine, seconds)
         return ServedResult(engine=engine, value=value, cached=False,

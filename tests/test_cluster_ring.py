@@ -1,0 +1,100 @@
+"""Consistent-hash ring: determinism, balance, minimal disruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing, stable_hash
+
+
+def _keys(count):
+    return [f"/v1/search/all_fields?query=q{i}".encode()
+            for i in range(count)]
+
+
+class TestStableHash:
+    def test_deterministic_across_instances(self):
+        assert stable_hash(b"covid") == stable_hash(b"covid")
+        assert stable_hash(b"covid") != stable_hash(b"covid ")
+
+    def test_64_bit_range(self):
+        for key in (b"", b"a", b"long key " * 100):
+            assert 0 <= stable_hash(key) < 2**64
+
+
+class TestHashRing:
+    def test_empty_ring_routes_nowhere(self):
+        ring = HashRing()
+        assert ring.route(b"anything") is None
+        assert ring.preference(b"anything") == []
+        assert len(ring) == 0
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_membership(self):
+        ring = HashRing(["r0", "r1"])
+        assert "r0" in ring and "r2" not in ring
+        ring.add("r2")
+        assert len(ring) == 3
+        ring.add("r2")  # idempotent
+        assert len(ring) == 3
+        ring.remove("r2")
+        ring.remove("r2")  # idempotent
+        assert len(ring) == 2
+
+    def test_same_key_same_replica(self):
+        ring = HashRing(["r0", "r1", "r2"])
+        for key in _keys(50):
+            assert ring.route(key) == ring.route(key)
+
+    def test_two_rings_agree(self):
+        # Replica order must not matter: every process builds the same
+        # ring from the same membership.
+        one = HashRing(["r0", "r1", "r2"])
+        other = HashRing(["r2", "r0", "r1"])
+        for key in _keys(200):
+            assert one.route(key) == other.route(key)
+
+    def test_preference_lists_are_distinct_and_stable(self):
+        ring = HashRing(["r0", "r1", "r2", "r3"])
+        for key in _keys(20):
+            preference = ring.preference(key)
+            assert len(preference) == 4
+            assert len(set(preference)) == 4
+            assert ring.preference(key, 2) == preference[:2]
+
+    def test_failover_target_is_next_preference(self):
+        # The clockwise successor takes over a removed replica's keys —
+        # the property that makes failover land on an L1 that will stay
+        # the key's owner.
+        ring = HashRing(["r0", "r1", "r2"])
+        for key in _keys(100):
+            preference = ring.preference(key)
+            ring_after = HashRing(["r0", "r1", "r2"])
+            ring_after.remove(preference[0])
+            assert ring_after.route(key) == preference[1]
+
+    def test_removal_moves_only_the_removed_replicas_keys(self):
+        ring = HashRing(["r0", "r1", "r2", "r3"])
+        keys = _keys(500)
+        before = {key: ring.route(key) for key in keys}
+        ring.remove("r1")
+        moved = sum(1 for key in keys if ring.route(key) != before[key])
+        owned = sum(1 for owner in before.values() if owner == "r1")
+        assert moved == owned  # survivors' keys never reshuffle
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(["r0", "r1", "r2", "r3"])
+        counts = ring.spread(_keys(2000))
+        assert sum(counts.values()) == 2000
+        for owner, count in counts.items():
+            # 64 vnodes keeps every replica within a loose band of the
+            # 500-key fair share.
+            assert 250 <= count <= 800, (owner, counts)
+
+    def test_single_replica_owns_everything(self):
+        ring = HashRing(["only"])
+        counts = ring.spread(_keys(100))
+        assert counts == {"only": 100}

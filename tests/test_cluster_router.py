@@ -1,0 +1,269 @@
+"""The consistent-hash router over real in-process replica gateways.
+
+Each "replica" is an independent system + QueryService behind a
+:class:`BackgroundGateway` on its own ephemeral port; the router runs
+in front of them exactly as ``repro-covidkg cluster`` wires it (minus
+the subprocess boundary, which ``test_cluster_invalidation`` covers).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.api.system import CovidKG, CovidKGConfig
+from repro.cluster.router import ReplicaSpec, Router, RouterConfig
+from repro.corpus.generator import CorpusGenerator, GeneratorConfig
+from repro.gateway import BackgroundGateway, GatewayClient
+from repro.serve.service import QueryService, ServeConfig
+
+SEED = 41
+BASE_PAPERS = 24
+
+
+def _corpus(count, start=0):
+    papers = CorpusGenerator(GeneratorConfig(
+        seed=SEED, papers_per_week=15, tables_per_paper=(1, 2),
+    )).papers(start + count)
+    return papers[start:]
+
+
+def _page_ids(payload):
+    return [hit["paper_id"] for hit in payload["value"]["results"]]
+
+
+def _wait_until(predicate, timeout=8.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class _Replica:
+    """One in-process replica: its own system, service, and gateway."""
+
+    def __init__(self, replica_id):
+        self.replica_id = replica_id
+        self.system = CovidKG(CovidKGConfig(num_shards=2))
+        self.system.ingest(_corpus(BASE_PAPERS))
+        self.service = QueryService(self.system,
+                                    ServeConfig(num_workers=2))
+        self.gateway = BackgroundGateway(self.service)
+
+    def start(self):
+        self.gateway.start()
+        return self
+
+    def spec(self):
+        return ReplicaSpec(self.replica_id, "127.0.0.1",
+                           self.gateway.port)
+
+    def stop(self):
+        try:
+            self.gateway.stop()
+        finally:
+            self.service.close()
+
+
+@pytest.fixture()
+def cluster():
+    replicas = [_Replica(f"r{i}").start() for i in range(3)]
+    router = Router([replica.spec() for replica in replicas],
+                    RouterConfig(probe_interval=0.1,
+                                 fail_threshold=2)).start()
+    try:
+        yield router, {replica.replica_id: replica
+                       for replica in replicas}
+    finally:
+        router.stop()
+        for replica in replicas:
+            replica.stop()
+
+
+@pytest.fixture()
+def client(cluster):
+    router, _ = cluster
+    with GatewayClient("127.0.0.1", router.port) as cl:
+        yield cl
+
+
+def _states(router):
+    return {state["replica_id"]: state
+            for state in router.cluster_snapshot()["replicas"]}
+
+
+class TestRouting:
+    def test_routed_answer_matches_direct(self, cluster, client):
+        _, replicas = cluster
+        response = client.search("all_fields", query="vaccine")
+        assert response.status == 200
+        direct = replicas["r0"].system.search("vaccine", page=1)
+        assert _page_ids(response.json()) == \
+            [hit.paper_id for hit in direct]
+
+    def test_affinity_same_request_same_replica(self, cluster, client):
+        owners = set()
+        for _ in range(5):
+            response = client.search("all_fields", query="antibody")
+            assert response.status == 200
+            owners.add(response.headers["x-replica"])
+        assert len(owners) == 1
+        # ... and repeats are served from that replica's warm L1.
+        assert client.search("all_fields",
+                             query="antibody").json()["cached"]
+
+    def test_query_param_order_does_not_change_owner(self, cluster,
+                                                     client):
+        first = client.get("/v1/search/all_fields",
+                           params={"query": "spike", "page": "1"})
+        second = client.get("/v1/search/all_fields",
+                            params={"page": "1", "query": "spike"})
+        assert first.headers["x-replica"] == \
+            second.headers["x-replica"]
+
+    def test_different_requests_spread_over_replicas(self, cluster,
+                                                     client):
+        owners = {
+            client.search("all_fields",
+                          query=f"term{i}").headers["x-replica"]
+            for i in range(30)
+        }
+        assert len(owners) > 1
+
+    def test_router_healthz_and_cluster_snapshot(self, cluster, client):
+        router, _ = cluster
+        health = client.healthz()
+        assert health.status == 200
+        assert health.json()["role"] == "router"
+        assert health.json()["replicas"] == 3
+        snapshot = client.get("/v1/cluster").json()
+        assert snapshot["in_ring"] == 3
+        assert [s["replica_id"] for s in snapshot["replicas"]] == \
+            ["r0", "r1", "r2"]
+        # Probes populate per-replica version counters.
+        assert _wait_until(lambda: all(
+            state["versions"] is not None
+            for state in _states(router).values()))
+
+    def test_errors_forwarded_verbatim(self, client):
+        response = client.search("all_fields")  # missing query
+        assert response.status == 400
+        assert response.json()["error"]["code"] == "bad_request"
+
+    def test_malformed_request_is_router_400(self, cluster):
+        router, _ = cluster
+        with socket.create_connection(("127.0.0.1", router.port),
+                                      timeout=5.0) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            reply = sock.recv(65536)
+        assert reply.startswith(b"HTTP/1.1 400")
+
+
+class TestWriteFanout:
+    def test_ingest_applies_on_every_replica(self, cluster, client):
+        _, replicas = cluster
+        before = {replica_id: replica.system.store.version
+                  for replica_id, replica in replicas.items()}
+        response = client.ingest(_corpus(4, start=BASE_PAPERS))
+        assert response.status == 200, response.text
+        assert response.headers["x-cluster-write-replicas"] == "3"
+        for replica_id, replica in replicas.items():
+            assert replica.system.store.version > before[replica_id]
+        # All replicas moved in lockstep.
+        versions = {replica.system.store.version
+                    for replica in replicas.values()}
+        assert len(versions) == 1
+
+    def test_rejected_batch_is_rejected_everywhere(self, cluster,
+                                                   client):
+        _, replicas = cluster
+        papers = _corpus(2, start=BASE_PAPERS + 10)
+        assert client.ingest(papers).status == 200
+        duplicate = client.ingest(papers)  # same paper_ids again
+        # 409 from the bare docstore path; a WAL-backed replica would
+        # answer 422 from the preflight gate — either way, rejected.
+        assert duplicate.status in (409, 422)
+        versions = {replica.system.store.version
+                    for replica in replicas.values()}
+        assert len(versions) == 1  # nobody applied the duplicate
+
+
+class TestFailover:
+    def test_killed_replica_ejected_with_zero_failed_requests(
+            self, cluster, client):
+        router, replicas = cluster
+        owner = client.search("all_fields",
+                              query="failover").headers["x-replica"]
+        replicas[owner].stop()  # the replica vanishes mid-operation
+        failures = []
+        for i in range(40):
+            response = client.search("all_fields", query="failover")
+            if response.status != 200:
+                failures.append((i, response.status))
+            assert response.headers["x-replica"] != owner or \
+                response.status == 200
+        assert failures == []
+        assert _wait_until(
+            lambda: not _states(router)[owner]["in_ring"])
+        assert _states(router)[owner]["ejected"]
+        # Survivors keep serving and the dead replica's range moved.
+        new_owner = client.search(
+            "all_fields", query="failover").headers["x-replica"]
+        assert new_owner != owner
+
+    def test_draining_replica_leaves_ring_without_stigma_and_rejoins(
+            self, cluster, client):
+        router, replicas = cluster
+        target = "r1"
+        replicas[target].gateway.gateway._draining = True
+        assert _wait_until(
+            lambda: not _states(router)[target]["in_ring"])
+        state = _states(router)[target]
+        assert state["draining"] and not state["ejected"]
+        # Requests keep succeeding without the draining replica.
+        for i in range(10):
+            assert client.search("all_fields",
+                                 query=f"drain{i}").status == 200
+        replicas[target].gateway.gateway._draining = False
+        assert _wait_until(
+            lambda: _states(router)[target]["in_ring"])
+
+    def test_replaying_replica_is_held_out_until_recovered(
+            self, cluster, client, tmp_path):
+        from repro.ingest.engine import IngestEngine
+
+        router, replicas = cluster
+        target = "r2"
+        replica = replicas[target]
+        engine = IngestEngine(replica.system, tmp_path / "ingest")
+        try:
+            replica.service.attach_ingest(engine)
+            with engine._state_lock:
+                engine._replaying = True
+            assert _wait_until(
+                lambda: not _states(router)[target]["in_ring"])
+            assert _states(router)[target]["replaying"]
+            with engine._state_lock:
+                engine._replaying = False
+            assert _wait_until(
+                lambda: _states(router)[target]["in_ring"])
+        finally:
+            engine.close()
+
+    def test_all_replicas_down_is_clean_503(self):
+        router = Router([], RouterConfig(probe_interval=0.1)).start()
+        try:
+            with GatewayClient("127.0.0.1", router.port) as cl:
+                health = cl.healthz()
+                assert health.status == 503
+                response = cl.search("all_fields", query="void")
+                assert response.status == 503
+                assert response.json()["error"]["code"] == \
+                    "no_replicas"
+                assert "retry-after" in response.headers
+        finally:
+            router.stop()

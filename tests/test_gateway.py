@@ -119,7 +119,15 @@ class TestRouting:
     def test_healthz(self, client):
         response = client.healthz()
         assert response.status == 200
-        assert response.json() == {"status": "ok"}
+        payload = response.json()
+        assert payload["status"] == "ok"
+        # The cluster router feeds on these: data-version counters,
+        # ingest replay state, and the admission effective width.
+        assert set(payload["versions"]) == {
+            "store", "kg", "all_fields", "title_abstract", "table"}
+        assert payload["ingest"]["attached"] is False
+        assert payload["ingest"]["replaying"] is False
+        assert payload["admission"]["effective_width"] >= 1
         assert response.request_id
 
     def test_head_healthz_has_headers_but_no_body(self, client):
@@ -184,7 +192,7 @@ class TestRouting:
         client.send_raw_nowait(raw)
         first = client.read_response()
         second = client.read_response()
-        assert first.json() == {"status": "ok"}
+        assert first.json()["status"] == "ok"
         assert "gateway" in second.json()
 
     def test_stats_nests_gateway_and_service(self, client):
@@ -389,6 +397,85 @@ class TestDrain:
         with pytest.raises(OSError):
             with GatewayClient("127.0.0.1", port) as cl:
                 cl.request("GET", "/v1/healthz", retry_on_stale=False)
+
+
+# -- client reconnect across a replica restart -----------------------------
+
+class TestClientReconnect:
+    def test_stale_get_rides_through_a_replica_restart(self, system):
+        """A keep-alive socket dying because the gateway restarted must
+        surface as one transparently retried request, not a raw
+        ConnectionError — the cluster failover contract."""
+        first = QueryService(system, ServeConfig(num_workers=1))
+        gw = BackgroundGateway(first).start()
+        port = gw.port
+        with GatewayClient("127.0.0.1", port,
+                           reconnect_wait=5.0) as client:
+            assert client.healthz().status == 200  # socket now warm
+            gw.stop()
+            first.close()
+
+            def restart():
+                time.sleep(0.3)  # the restart window the retry rides
+                service = QueryService(system,
+                                       ServeConfig(num_workers=1))
+                replacement = BackgroundGateway(
+                    service, GatewayConfig(port=port)).start()
+                box["gw"] = replacement
+                box["service"] = service
+
+            box = {}
+            thread = threading.Thread(target=restart)
+            thread.start()
+            try:
+                response = client.healthz()
+                assert response.status == 200
+                assert client.connects >= 2  # really reconnected
+            finally:
+                thread.join(timeout=10.0)
+                if "gw" in box:
+                    box["gw"].stop()
+                    box["service"].close()
+
+    def test_stale_post_is_never_replayed(self, system):
+        """POST must surface the transport error: the dead server may
+        have committed the batch before the socket broke, and a silent
+        replay would commit it twice."""
+        first = QueryService(system, ServeConfig(num_workers=1))
+        gw = BackgroundGateway(first).start()
+        port = gw.port
+        with GatewayClient("127.0.0.1", port,
+                           reconnect_wait=5.0) as client:
+            assert client.healthz().status == 200  # socket now warm
+            gw.stop()
+            first.close()
+            # A fresh replacement is listening on the same port: a
+            # replayed POST *would* succeed — which is exactly why the
+            # client must refuse to replay it.
+            service = QueryService(system, ServeConfig(num_workers=1))
+            replacement = BackgroundGateway(
+                service, GatewayConfig(port=port)).start()
+            try:
+                with pytest.raises(OSError):
+                    client.ingest([])
+                # The same client still works for idempotent requests.
+                assert client.healthz().status == 200
+            finally:
+                replacement.stop()
+                service.close()
+
+    def test_fresh_connection_failure_raises_immediately(self):
+        probe = __import__("socket").socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        client = GatewayClient("127.0.0.1", dead_port,
+                               reconnect_wait=5.0)
+        started = time.monotonic()
+        with pytest.raises(OSError):
+            client.get("/v1/healthz")
+        # No retry loop on a fresh connection: nothing was in flight.
+        assert time.monotonic() - started < 2.0
 
 
 # -- error mapping ---------------------------------------------------------
