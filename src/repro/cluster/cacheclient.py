@@ -117,10 +117,19 @@ class SharedCacheClient:
               *fields: bytes) -> tuple[int, list[bytes]] | None:
         """One round trip; ``None`` when degraded (breaker open/error).
 
-        A dead persistent socket (cache server restarted between calls)
-        gets one fresh-socket retry; a failure on a fresh connection
-        opens the breaker instead.
+        The frame is packed before any socket I/O: an oversized request
+        (e.g. a huge key) is a deterministic client-side condition, so
+        it degrades this one call without dropping a healthy connection
+        or tripping the breaker for everyone else.  A dead persistent
+        socket (cache server restarted between calls) gets one
+        fresh-socket retry; a failure on a fresh connection opens the
+        breaker instead.
         """
+        try:
+            payload = wire.pack_frame(op, *fields)
+        except wire.ProtocolError:
+            self._count("errors")
+            return None
         if self._breaker_open():
             return None
         for _ in (0, 1):
@@ -130,7 +139,7 @@ class SharedCacheClient:
                 if sock is None:
                     sock = self._connect()
                     self._local.sock = sock
-                wire.write_frame(sock, op, *fields)
+                sock.sendall(payload)
                 return wire.read_frame(sock)
             except (ConnectionError, OSError, wire.ProtocolError):
                 self._drop_connection()
@@ -178,12 +187,16 @@ class SharedCacheClient:
         except Exception:
             self._count("errors")
             return False
-        if len(blob) + 1024 > wire.MAX_FRAME_BYTES:
-            # An oversized page is not cacheable, not an error.
+        key_bytes = self._key_bytes(key)
+        versions_blob = wire.pack_versions(versions)
+        # 64 bytes covers the frame/field framing overhead.
+        if len(blob) + len(key_bytes) + len(engine) + \
+                len(versions_blob) + 64 > wire.MAX_FRAME_BYTES:
+            # An oversized page (or key) is not cacheable, not an error.
             return False
         reply = self._call(
-            wire.OP_PUT, engine.encode("utf-8"), self._key_bytes(key),
-            wire.pack_versions(versions), blob)
+            wire.OP_PUT, engine.encode("utf-8"), key_bytes,
+            versions_blob, blob)
         if reply is None or reply[0] != wire.OP_OK:
             return False
         self._count("puts")

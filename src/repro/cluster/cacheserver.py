@@ -103,6 +103,7 @@ class SharedCacheServer:
                 return
             self._closed = True
             conns = list(self._conns)
+            conn_threads = list(self._conn_threads)
         if self._sock is not None:
             # shutdown() wakes the thread blocked in accept(); close()
             # alone leaves it parked (and the LISTEN socket alive) on
@@ -124,7 +125,7 @@ class SharedCacheServer:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
-        for thread in list(self._conn_threads):
+        for thread in conn_threads:
             thread.join(timeout=5.0)
 
     @property
@@ -154,7 +155,8 @@ class SharedCacheServer:
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,),
                 name="cacheserver-conn", daemon=True)
-            self._conn_threads.add(thread)
+            with self._lock:
+                self._conn_threads.add(thread)
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
@@ -190,7 +192,7 @@ class SharedCacheServer:
             conn.close()
             with self._lock:
                 self._conns.discard(conn)
-            self._conn_threads.discard(threading.current_thread())
+                self._conn_threads.discard(threading.current_thread())
 
     # -- operations -------------------------------------------------------
 

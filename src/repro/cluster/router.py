@@ -12,9 +12,11 @@ in-process L1 stays warm.  Three request classes:
   the next replica — the client sees one answer, never a
   ``ConnectionError``;
 * **writes** (``POST /v1/ingest``) fan out to *every* in-ring replica
-  (write-all/read-any): the batch commits everywhere or the replica
-  that missed it is ejected as **diverged** — it can never re-enter the
-  ring, because its corpus now disagrees with the cluster's;
+  (write-all/read-any): once a batch commits anywhere, every replica
+  that missed it — transport failure, per-replica HTTP error, or
+  sitting out of the ring while the batch landed — is marked
+  **diverged** and can never re-enter the ring, because its corpus now
+  disagrees with the cluster's;
 * **router-local** endpoints (``/v1/healthz``, ``/v1/cluster``) answer
   from the router itself with cluster topology and per-replica state.
 
@@ -46,7 +48,7 @@ from urllib.parse import urlencode
 
 from repro.analysis import racecheck
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
-from repro.errors import BadRequestError
+from repro.errors import BadRequestError, PayloadTooLargeError
 from repro.gateway.client import ClientResponse, GatewayClient
 from repro.gateway.http import (
     HEAD_TERMINATOR,
@@ -87,6 +89,10 @@ class RouterConfig:
     vnodes: int = DEFAULT_VNODES
     forward_timeout: float = 30.0
     max_header_bytes: int = 16384
+    #: Bodies past this are refused with 413 before being buffered;
+    #: deliberately above the replica gateway's own (authoritative)
+    #: limit so the router cap only guards the router's memory.
+    max_body_bytes: int = 8 * 1024 * 1024
     idle_timeout_seconds: float = 30.0
 
 
@@ -247,6 +253,7 @@ class Router:
         # waits out the idle timeout.
         with self._lock:
             conns = list(self._conns)
+            conn_threads = list(self._conn_threads)
         for conn in conns:
             try:
                 conn.close()
@@ -255,7 +262,7 @@ class Router:
         for thread in (self._accept_thread, self._probe_thread):
             if thread is not None:
                 thread.join(timeout=5.0)
-        for thread in list(self._conn_threads):
+        for thread in conn_threads:
             thread.join(timeout=5.0)
 
     def __enter__(self) -> "Router":
@@ -352,7 +359,8 @@ class Router:
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,),
                 name="router-conn", daemon=True)
-            self._conn_threads.add(thread)
+            with self._lock:
+                self._conn_threads.add(thread)
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
@@ -367,6 +375,13 @@ class Router:
                 try:
                     request, buffer = self._read_request(conn, buffer)
                 except (ConnectionError, OSError):
+                    return
+                except PayloadTooLargeError as exc:
+                    self._write_response(conn, Response(
+                        status=413,
+                        payload={"error": {"code": "request_too_large",
+                                           "message": str(exc)}},
+                        close=True), keep_alive=False)
                     return
                 except BadRequestError as exc:
                     self._write_response(conn, Response(
@@ -391,9 +406,9 @@ class Router:
             conn.close()
             with self._lock:
                 self._conns.discard(conn)
+                self._conn_threads.discard(threading.current_thread())
             for client in backends.values():
                 client.close()
-            self._conn_threads.discard(threading.current_thread())
 
     def _read_request(self, conn: socket.socket, buffer: bytes
                       ) -> tuple[Request | None, bytes]:
@@ -415,6 +430,10 @@ class Router:
             head + HEAD_TERMINATOR,
             max_header_bytes=self.config.max_header_bytes)
         length = request.content_length
+        if length > self.config.max_body_bytes:
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit")
         while len(buffer) < length:
             chunk = conn.recv(65536)
             if not chunk:
@@ -516,13 +535,19 @@ class Router:
                        backends: dict[str, GatewayClient]) -> Response:
         """Write-all fan-out: every in-ring replica applies the batch.
 
-        A replica that fails at the transport level mid-write has
-        diverged — whether or not it committed, the router can no longer
-        prove its corpus matches the others', so it is ejected for
-        good.  The client's write succeeds as long as one replica
-        answered; per-replica HTTP errors (e.g. duplicate batches) are
-        deterministic and identical across replicas, so the first
-        response speaks for all of them.
+        A replica that misses a committed batch has diverged and can
+        never rejoin, whichever way it missed it:
+
+        * a transport failure mid-write — whether or not it committed,
+          the router can no longer prove its corpus matches the others';
+        * a non-2xx answer while other replicas committed — it rejected
+          (or failed) a batch the cluster applied;
+        * being out of the ring (probe-ejected, draining, or replaying
+          its WAL) while the batch committed — it never saw the write
+          at all, so rejoining would serve a stale corpus.
+
+        Only a batch every reached replica rejects (a deterministic
+        client error, e.g. a duplicate) leaves membership untouched.
         """
         with self._lock:
             self.stats["writes"] += 1
@@ -530,8 +555,10 @@ class Router:
                 (state.spec for state in self._states.values()
                  if state.in_ring),
                 key=lambda spec: spec.replica_id)
-        first: Response | None = None
-        reached = 0
+            held_out = [replica_id
+                        for replica_id, state in self._states.items()
+                        if not state.in_ring and not state.diverged]
+        results: list[tuple[ReplicaSpec, ClientResponse]] = []
         for spec in specs:
             client = self._backend(backends, spec)
             try:
@@ -543,21 +570,40 @@ class Router:
                 self._eject(spec.replica_id,
                             f"missed a write: {exc}", diverged=True)
                 continue
-            reached += 1
             with self._lock:
                 self.stats["write_fanouts"] += 1
-            if first is None:
-                first = self._to_response(upstream)
-                first.headers["X-Replica"] = spec.replica_id
-        if first is None:
+            results.append((spec, upstream))
+        if not results:
             with self._lock:
                 self.stats["unroutable"] += 1
             return Response(status=503, payload={"error": {
                 "code": "no_replicas",
                 "message": "no healthy replica accepted the write",
             }}, headers={"Retry-After": "1"})
-        first.headers["X-Cluster-Write-Replicas"] = str(reached)
-        return first
+        committed = [(spec, upstream) for spec, upstream in results
+                     if 200 <= upstream.status < 300]
+        if committed:
+            for spec, upstream in results:
+                if not 200 <= upstream.status < 300:
+                    self._eject(
+                        spec.replica_id,
+                        f"write failed with HTTP {upstream.status} "
+                        f"while {len(committed)} replica(s) committed",
+                        diverged=True)
+            # _eject on an out-of-ring replica only stamps the diverged
+            # flag (no ejection stats) — exactly the rejoin bar needed.
+            for replica_id in held_out:
+                self._eject(replica_id,
+                            "held out of the ring while a write "
+                            "committed", diverged=True)
+            chosen_spec, chosen = committed[0]
+        else:
+            chosen_spec, chosen = results[0]
+        response = self._to_response(chosen)
+        response.headers["X-Replica"] = chosen_spec.replica_id
+        response.headers["X-Cluster-Write-Replicas"] = str(
+            len(committed) if committed else len(results))
+        return response
 
     # -- router-local endpoints -------------------------------------------
 

@@ -237,6 +237,27 @@ class TestCacheClientDegradation:
             assert client.put("kg", ("big",), (1,), blob) is False
             assert not client.get("kg", ("big",), (1,))[0]
 
+    def test_oversized_key_degrades_without_dropping_connection(self):
+        """A huge repr'd key must not nuke the healthy connection.
+
+        An oversized frame is a deterministic client-side condition:
+        the call degrades to a miss/no-op, but the persistent socket
+        stays up and the breaker stays closed for everyone else.
+        """
+        with SharedCacheServer() as server, \
+                SharedCacheClient(server.address) as client:
+            client.put("kg", ("a",), (1,), "x")
+            connects = client.stats_snapshot()["connects"]
+            big_key = ("k" * wire.MAX_FRAME_BYTES,)
+            assert client.put("kg", big_key, (1,), "v") is False
+            assert client.get("kg", big_key, (1,)) == (False, None)
+            # The healthy entry still answers on the same connection,
+            # immediately — no reconnect, no breaker window.
+            assert client.get("kg", ("a",), (1,)) == (True, "x")
+            stats = client.stats_snapshot()
+            assert stats["connects"] == connects
+            assert stats["breaker_skips"] == 0
+
     def test_unpicklable_value_counts_as_error(self):
         with SharedCacheServer() as server, \
                 SharedCacheClient(server.address) as client:

@@ -192,6 +192,84 @@ class TestWriteFanout:
         assert len(versions) == 1  # nobody applied the duplicate
 
 
+class TestWriteDivergence:
+    def test_held_out_replica_missing_a_write_never_rejoins(
+            self, cluster, client):
+        """A replica out of the ring during a committed write diverged.
+
+        Draining (or WAL-replaying) holds a replica out without stigma,
+        but a batch committed while it was out means its corpus is
+        permanently behind — it must be barred from rejoining.
+        """
+        router, replicas = cluster
+        target = "r1"
+        replicas[target].gateway.gateway._draining = True
+        assert _wait_until(
+            lambda: not _states(router)[target]["in_ring"])
+        response = client.ingest(_corpus(3, start=BASE_PAPERS + 20))
+        assert response.status == 200, response.text
+        assert response.headers["x-cluster-write-replicas"] == "2"
+        state = _states(router)[target]
+        assert state["diverged"]
+        # Recovering from the drain must not bring it back: its corpus
+        # is missing the batch.
+        replicas[target].gateway.gateway._draining = False
+        time.sleep(0.5)
+        state = _states(router)[target]
+        assert not state["in_ring"] and state["diverged"]
+        assert router.cluster_snapshot()["in_ring"] == 2
+
+    def test_replica_failing_a_committed_write_is_ejected(
+            self, cluster, client):
+        """Mixed per-replica statuses are divergence, not noise.
+
+        One replica already holds the batch (seeded out-of-band), so
+        the fan-out gets a duplicate rejection from it while the other
+        two commit — its version history now disagrees with the
+        cluster's and it must leave the ring for good.
+        """
+        router, replicas = cluster
+        papers = _corpus(3, start=BASE_PAPERS + 30)
+        replicas["r2"].system.ingest(papers)  # out-of-band divergence
+        response = client.ingest(papers)
+        assert response.status == 200, response.text
+        assert response.headers["x-cluster-write-replicas"] == "2"
+        state = _states(router)["r2"]
+        assert state["diverged"] and not state["in_ring"]
+        # Reads keep succeeding on the survivors.
+        for i in range(10):
+            assert client.search("all_fields",
+                                 query=f"mixed{i}").status == 200
+
+    def test_rejected_batch_leaves_membership_untouched(self, cluster,
+                                                        client):
+        """A batch every replica rejects ejects nobody."""
+        router, _ = cluster
+        papers = _corpus(2, start=BASE_PAPERS + 40)
+        assert client.ingest(papers).status == 200
+        assert client.ingest(papers).status in (409, 422)
+        assert router.cluster_snapshot()["in_ring"] == 3
+        assert not any(state["diverged"]
+                       for state in _states(router).values())
+
+
+class TestBodyLimit:
+    def test_oversized_body_is_413_before_buffering(self):
+        router = Router([], RouterConfig(
+            probe_interval=0.1, max_body_bytes=1024)).start()
+        try:
+            with GatewayClient("127.0.0.1", router.port) as cl:
+                response = cl.request(
+                    "POST", "/v1/ingest",
+                    headers={"Content-Type": "application/json"},
+                    body=b"x" * 4096)
+                assert response.status == 413
+                assert response.json()["error"]["code"] == \
+                    "request_too_large"
+        finally:
+            router.stop()
+
+
 class TestFailover:
     def test_killed_replica_ejected_with_zero_failed_requests(
             self, cluster, client):
